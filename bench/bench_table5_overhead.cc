@@ -1,0 +1,339 @@
+// Table 5: application-level latency overhead of Pivot Tracing.
+//
+// The paper stress-tests HDFS with NNBench-derived requests — Read8k (a
+// DataNode op), Open / Create / Rename (NameNode ops) — and compares
+// end-to-end latency of unmodified HDFS against HDFS with:
+//   1. Pivot Tracing enabled (no queries),
+//   2. baggage containing 1 tuple, no advice installed,
+//   3. baggage containing 60 tuples (~1 kB), no advice installed,
+//   4. the §6.1 queries installed,
+//   5. the §6.2 queries installed.
+// Paper result: <= 0.3% with PT enabled; the worst case is ~16% for Open
+// with 60 tuples of baggage (a short CPU-bound request).
+//
+// This bench measures *real wall-clock* cost (unlike the figure benches,
+// which run on simulated time): a miniature in-process HDFS request loop
+// performs each op's tracepoint invocations and baggage wire crossings, and
+// we report ns/op and % overhead vs. the unmodified loop. The substitution
+// for JVM bytecode weaving is runtime advice attachment (DESIGN.md §1), so
+// "unmodified" has no tracepoint sites at all, while "PT enabled" has sites
+// but no advice — the difference is the probe effect.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/agent/agent.h"
+#include "src/agent/frontend.h"
+#include "src/bus/message_bus.h"
+#include "src/core/tracepoint.h"
+
+namespace pivot {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Simulated application work per op (spin, to mimic a short CPU-bound
+// request the way NNBench ops are). Spin counts are calibrated at startup so
+// ops take realistic durations — Read8k ~400 µs (DataNode path), metadata
+// ops ~100 µs (NameNode lookup) — which is what makes the overhead
+// *percentages* comparable to the paper's.
+void ApplicationWork(int spins) {
+  volatile uint64_t acc = 0;
+  for (int i = 0; i < spins; ++i) {
+    acc = acc + static_cast<uint64_t>(i) * 2654435761u;
+  }
+}
+
+int g_read_spins = 0;
+int g_meta_spins = 0;
+
+void CalibrateWork() {
+  constexpr int kProbe = 2'000'000;
+  double best = 1e18;
+  // Warm the core and take the fastest of several probes.
+  for (int pass = 0; pass < 5; ++pass) {
+    int64_t start = NowNanos();
+    ApplicationWork(kProbe);
+    best = std::min(best, static_cast<double>(NowNanos() - start) / kProbe);
+  }
+  g_read_spins = static_cast<int>(400'000.0 / best);   // ~400 µs.
+  g_meta_spins = static_cast<int>(100'000.0 / best);   // ~100 µs.
+}
+
+struct MiniHdfs {
+  TracepointRegistry client_registry;
+  TracepointRegistry server_registry;
+  ProcessRuntime client_rt;
+  ProcessRuntime server_rt;
+  std::unique_ptr<PTAgent> client_agent;
+  std::unique_ptr<PTAgent> server_agent;
+
+  Tracepoint* tp_client_protocols;
+  Tracepoint* tp_do_next_op;
+  Tracepoint* tp_nn_op;
+  Tracepoint* tp_dtp;
+  Tracepoint* tp_incr_read;
+  Tracepoint* tp_send_response;
+  Tracepoint* tp_receive_request;
+
+  explicit MiniHdfs(MessageBus* bus) {
+    client_rt.info = {"client-host", "StressTest", 1};
+    server_rt.info = {"server-host", "NameNode+DataNode", 2};
+    client_agent = std::make_unique<PTAgent>(bus, &client_registry, client_rt.info);
+    server_agent = std::make_unique<PTAgent>(bus, &server_registry, server_rt.info);
+    client_rt.sink = client_agent.get();
+    server_rt.sink = server_agent.get();
+
+    auto define = [](TracepointRegistry* reg, const char* name,
+                     std::vector<std::string> exports) {
+      TracepointDef def;
+      def.name = name;
+      def.exports = std::move(exports);
+      Result<Tracepoint*> tp = reg->Define(std::move(def));
+      return *tp;
+    };
+    tp_client_protocols = define(&client_registry, "ClientProtocols", {"procName"});
+    tp_do_next_op = define(&client_registry, "StressTest.DoNextOp", {"op"});
+    tp_receive_request = define(&server_registry, "ReceiveRequest", {"op"});
+    tp_nn_op = define(&server_registry, "NN.ClientProtocol", {"op", "src"});
+    tp_dtp = define(&server_registry, "DN.DataTransferProtocol", {"op", "src"});
+    tp_incr_read = define(&server_registry, "DataNodeMetrics.incrBytesRead", {"delta"});
+    tp_send_response = define(&server_registry, "SendResponse", {"op"});
+  }
+
+  // One request: client side fires its tracepoints, baggage crosses the wire
+  // to the server, the server fires its tracepoints, baggage returns.
+  void RunOp(const std::string& op, const Baggage& initial_baggage) {
+    ExecutionContext client_ctx(&client_rt);
+    client_ctx.set_baggage(initial_baggage);
+
+    tp_client_protocols->Invoke(&client_ctx, {{"procName", Value("StressTest")}});
+    tp_do_next_op->Invoke(&client_ctx, {{"op", Value(op)}});
+    std::vector<uint8_t> wire = client_ctx.baggage().Serialize();
+
+    ExecutionContext server_ctx(&server_rt);
+    if (!wire.empty()) {
+      Result<Baggage> baggage = Baggage::Deserialize(wire);
+      if (baggage.ok()) {
+        server_ctx.set_baggage(std::move(baggage).value());
+      }
+    }
+    tp_receive_request->Invoke(&server_ctx, {{"op", Value(op)}});
+    if (op == "read8k") {
+      tp_dtp->Invoke(&server_ctx, {{"op", Value("READ")}, {"src", Value("f")}});
+      ApplicationWork(g_read_spins);  // Disk-path work.
+      tp_incr_read->Invoke(&server_ctx, {{"delta", Value(int64_t{8192})}});
+    } else {
+      tp_nn_op->Invoke(&server_ctx, {{"op", Value(op)}, {"src", Value("/bench/f")}});
+      ApplicationWork(g_meta_spins);  // Short metadata op.
+    }
+    tp_send_response->Invoke(&server_ctx, {{"op", Value(op)}});
+    std::vector<uint8_t> response_wire = server_ctx.baggage().Serialize();
+
+    // Client resumes with the returned baggage.
+    if (!response_wire.empty()) {
+      Result<Baggage> back = Baggage::Deserialize(response_wire);
+      if (back.ok()) {
+        client_ctx.set_baggage(std::move(back).value());
+      }
+    }
+  }
+
+  // The "unmodified" loop: same application work, no tracepoint sites, no
+  // contexts, no baggage.
+  static void RunOpUnmodified(const std::string& op) {
+    if (op == "read8k") {
+      ApplicationWork(g_read_spins);
+    } else {
+      ApplicationWork(g_meta_spins);
+    }
+  }
+};
+
+double MeasureNsPerOp(const std::function<void()>& op, int iterations) {
+  // Warmup.
+  for (int i = 0; i < iterations / 20 + 1; ++i) {
+    op();
+  }
+  int64_t best = INT64_MAX;
+  // Two passes; keep the fastest (reduces scheduler noise).
+  for (int pass = 0; pass < 2; ++pass) {
+    int64_t start = NowNanos();
+    for (int i = 0; i < iterations; ++i) {
+      op();
+    }
+    best = std::min(best, NowNanos() - start);
+  }
+  return static_cast<double>(best) / iterations;
+}
+
+// Measures baseline and variant in short interleaved passes, taking the
+// fastest pass of each: frequency scaling and scheduler noise hit both sides
+// equally and the minima are comparable.
+std::pair<double, double> MeasureInterleaved(const std::function<void()>& base,
+                                             const std::function<void()>& variant,
+                                             int iterations_per_pass, int passes) {
+  for (int i = 0; i < iterations_per_pass; ++i) {
+    base();
+    variant();
+  }
+  int64_t best_base = INT64_MAX;
+  int64_t best_variant = INT64_MAX;
+  for (int pass = 0; pass < passes; ++pass) {
+    int64_t start = NowNanos();
+    for (int i = 0; i < iterations_per_pass; ++i) {
+      base();
+    }
+    best_base = std::min(best_base, NowNanos() - start);
+    start = NowNanos();
+    for (int i = 0; i < iterations_per_pass; ++i) {
+      variant();
+    }
+    best_variant = std::min(best_variant, NowNanos() - start);
+  }
+  return {static_cast<double>(best_base) / iterations_per_pass,
+          static_cast<double>(best_variant) / iterations_per_pass};
+}
+
+Baggage BaggageWithTuples(int n) {
+  Baggage baggage;
+  for (int i = 0; i < n; ++i) {
+    baggage.Pack(900, BagSpec::All(),
+                 Tuple{{"v" + std::to_string(i), Value(static_cast<int64_t>(i))}});
+  }
+  return baggage;
+}
+
+}  // namespace
+}  // namespace pivot
+
+int main() {
+  using namespace pivot;
+
+  CalibrateWork();
+  constexpr int kIterations = 3000;
+  const std::vector<std::string> kOps = {"read8k", "open", "create", "rename"};
+
+  // ---- Configurations ----
+  MessageBus bus;
+  TracepointRegistry schema;  // Shared schema for query validation.
+  {
+    for (const char* name : {"ClientProtocols", "StressTest.DoNextOp", "ReceiveRequest",
+                             "NN.ClientProtocol", "DN.DataTransferProtocol",
+                             "DataNodeMetrics.incrBytesRead", "SendResponse"}) {
+      TracepointDef def;
+      def.name = name;
+      def.exports = {"op", "src", "delta", "procName"};
+      Result<Tracepoint*> tp = schema.Define(std::move(def));
+      (void)tp;
+    }
+  }
+  Frontend frontend(&bus, &schema);
+  MiniHdfs hdfs(&bus);
+
+  struct Variant {
+    std::string name;
+    Baggage baggage;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"PivotTracing enabled", Baggage()});
+  variants.push_back({"Baggage - 1 tuple", BaggageWithTuples(1)});
+  variants.push_back({"Baggage - 60 tuples", BaggageWithTuples(60)});
+
+  printf("Table 5: latency overheads for an HDFS-style stress test (real wall clock)\n");
+  printf("  %d iterations per cell; mini in-process request loop; see bench source.\n\n",
+         kIterations);
+
+  auto iterations_for = [&](const std::string& op) {
+    return op == "read8k" ? kIterations / 10 : kIterations / 3;
+  };
+
+  // Print reference baselines once, for context.
+  printf("%-28s", "variant \\ op");
+  for (const auto& op : kOps) {
+    printf("%12s", op.c_str());
+  }
+  printf("\n%-28s", "Unmodified [ns/op]");
+  for (const auto& op : kOps) {
+    printf("%12.0f",
+           MeasureNsPerOp([&] { MiniHdfs::RunOpUnmodified(op); }, iterations_for(op)));
+  }
+  printf("\n");
+
+  // Every cell measures baseline and instrumented loops in interleaved short
+  // passes (best-of-N each), so CPU frequency / thermal drift cancels.
+  auto run_variant = [&](const Variant& v) {
+    printf("%-28s", v.name.c_str());
+    for (const auto& op : kOps) {
+      int iters = iterations_for(op);
+      auto [base, ns] = MeasureInterleaved([&] { MiniHdfs::RunOpUnmodified(op); },
+                                           [&] { hdfs.RunOp(op, v.baggage); }, iters, 12);
+      double overhead = (ns - base) / base * 100.0;
+      printf("%11.1f%%", overhead);
+    }
+    printf("\n");
+  };
+
+  // Control row: unmodified measured against itself — anything within this
+  // band is measurement noise on this host.
+  {
+    printf("%-28s", "(noise floor: self vs self)");
+    for (const auto& op : kOps) {
+      auto [a, b] = MeasureInterleaved([&] { MiniHdfs::RunOpUnmodified(op); },
+                                       [&] { MiniHdfs::RunOpUnmodified(op); },
+                                       iterations_for(op), 12);
+      printf("%11.1f%%", (b - a) / a * 100.0);
+    }
+    printf("\n");
+  }
+
+  for (const auto& v : variants) {
+    run_variant(v);
+  }
+
+  // ---- §6.1 queries (replica-selection diagnosis: Q3 and Q6 analogues) ----
+  {
+    auto q3 = frontend.Install(
+        "From dnop In DN.DataTransferProtocol GroupBy dnop.host Select dnop.host, COUNT");
+    auto q6 = frontend.Install(
+        "From DNop In DN.DataTransferProtocol "
+        "Join st In First(StressTest.DoNextOp) On st -> DNop "
+        "GroupBy st.host, DNop.host Select st.host, DNop.host, COUNT");
+    if (q3.ok() && q6.ok()) {
+      run_variant({"Queries - 6.1 (Q3+Q6)", Baggage()});
+      (void)frontend.Uninstall(*q3);
+      (void)frontend.Uninstall(*q6);
+    }
+  }
+
+  // ---- §6.2 queries (latency decomposition: Q8 analogue) ----
+  {
+    auto q8 = frontend.Install(
+        "From response In SendResponse "
+        "Join request In MostRecent(ReceiveRequest) On request -> response "
+        "Select response.time - request.time");
+    auto q2 = frontend.Install(
+        "From incr In DataNodeMetrics.incrBytesRead "
+        "Join cl In First(ClientProtocols) On cl -> incr "
+        "GroupBy cl.procName Select cl.procName, SUM(incr.delta)");
+    if (q8.ok() && q2.ok()) {
+      run_variant({"Queries - 6.2 (Q8+Q2)", Baggage()});
+      (void)frontend.Uninstall(*q8);
+      (void)frontend.Uninstall(*q2);
+    }
+  }
+
+  printf(
+      "\nPaper (Table 5) reference: PT enabled <=0.3%%; 60-tuple baggage up to ~16%% on the\n"
+      "shortest CPU-bound op; installed queries 0.3%%-14%%. Expect the same ordering here:\n"
+      "near-zero when idle, largest for big baggage / join queries on short ops.\n");
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Shared output helpers for the figure-reproducing benches: time-series
+// tables, pivot tables, and simple histograms, all plain text.
+
+#ifndef PIVOT_BENCH_BENCH_UTIL_H_
+#define PIVOT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/tuple.h"
+
+namespace pivot {
+
+// When the PIVOT_CSV_DIR environment variable is set, writes `rows` (with a
+// leading `header` row) to "$PIVOT_CSV_DIR/<name>.csv" for external plotting;
+// otherwise does nothing. Returns true if a file was written.
+inline bool MaybeWriteCsv(const std::string& name, const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows) {
+  const char* dir = std::getenv("PIVOT_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return false;
+  }
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  auto write_row = [f](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      fprintf(f, "%s%s", i == 0 ? "" : ",", row[i].c_str());
+    }
+    fprintf(f, "\n");
+  };
+  write_row(header);
+  for (const auto& row : rows) {
+    write_row(row);
+  }
+  std::fclose(f);
+  printf("(wrote %s)\n", path.c_str());
+  return true;
+}
+
+// Prints a time series table: one row per sample second, one column per key.
+// `series[key][second] = value`. When `csv_name` is non-empty and
+// PIVOT_CSV_DIR is set, a per-second CSV is written too.
+inline void PrintSeriesTable(const std::string& title, const std::string& unit,
+                             const std::vector<std::string>& keys,
+                             const std::map<std::string, std::map<int64_t, double>>& series,
+                             int64_t from_sec, int64_t to_sec, int64_t step_sec,
+                             double scale = 1.0, const std::string& csv_name = "") {
+  if (!csv_name.empty()) {
+    std::vector<std::string> header = {"t_sec"};
+    header.insert(header.end(), keys.begin(), keys.end());
+    std::vector<std::vector<std::string>> rows;
+    for (int64_t sec = from_sec; sec < to_sec; ++sec) {
+      std::vector<std::string> row = {std::to_string(sec)};
+      for (const auto& key : keys) {
+        double v = 0;
+        auto it = series.find(key);
+        if (it != series.end()) {
+          auto bucket = it->second.find(sec);
+          if (bucket != it->second.end()) {
+            v = bucket->second;
+          }
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", v * scale);
+        row.emplace_back(buf);
+      }
+      rows.push_back(std::move(row));
+    }
+    MaybeWriteCsv(csv_name, header, rows);
+  }
+  printf("%s [%s]\n", title.c_str(), unit.c_str());
+  printf("%6s", "t[s]");
+  for (const auto& key : keys) {
+    printf("%12.12s", key.c_str());
+  }
+  printf("\n");
+  for (int64_t sec = from_sec; sec < to_sec; sec += step_sec) {
+    printf("%6lld", static_cast<long long>(sec));
+    for (const auto& key : keys) {
+      double sum = 0;
+      auto series_it = series.find(key);
+      if (series_it != series.end()) {
+        for (int64_t s = sec; s < sec + step_sec; ++s) {
+          auto it = series_it->second.find(s);
+          if (it != series_it->second.end()) {
+            sum += it->second;
+          }
+        }
+      }
+      printf("%12.1f", sum / static_cast<double>(step_sec) * scale);
+    }
+    printf("\n");
+  }
+  printf("\n");
+}
+
+// Prints a pivot table (rows x cols) with per-row, per-column and grand
+// totals — the shape of Fig 1c.
+inline void PrintPivotTable(const std::string& title, const std::string& unit,
+                            const std::vector<std::string>& rows,
+                            const std::vector<std::string>& cols,
+                            const std::map<std::pair<std::string, std::string>, double>& cells,
+                            double scale = 1.0) {
+  printf("%s [%s]\n", title.c_str(), unit.c_str());
+  printf("%10s", "");
+  for (const auto& c : cols) {
+    printf("%12.12s", c.c_str());
+  }
+  printf("%12s\n", "TOTAL");
+  std::map<std::string, double> col_totals;
+  double grand = 0;
+  for (const auto& r : rows) {
+    printf("%10.10s", r.c_str());
+    double row_total = 0;
+    for (const auto& c : cols) {
+      double v = 0;
+      auto it = cells.find({r, c});
+      if (it != cells.end()) {
+        v = it->second;
+      }
+      row_total += v;
+      col_totals[c] += v;
+      printf("%12.1f", v * scale);
+    }
+    grand += row_total;
+    printf("%12.1f\n", row_total * scale);
+  }
+  printf("%10s", "TOTAL");
+  for (const auto& c : cols) {
+    printf("%12.1f", col_totals[c] * scale);
+  }
+  printf("%12.1f\n\n", grand * scale);
+}
+
+// Turns a query's per-interval results into per-key series:
+// result rows keyed by `key_field`, value taken from `value_field`.
+inline std::map<std::string, std::map<int64_t, double>> SeriesByKey(
+    const std::map<int64_t, std::vector<Tuple>>& intervals, const std::string& key_field,
+    const std::string& value_field) {
+  std::map<std::string, std::map<int64_t, double>> out;
+  for (const auto& [ts, rows] : intervals) {
+    int64_t sec = ts / 1'000'000 - 1;  // Report at T covers [T-1s, T).
+    for (const Tuple& row : rows) {
+      out[row.Get(key_field).ToString()][sec] += row.Get(value_field).AsDouble();
+    }
+  }
+  return out;
+}
+
+// Simple text histogram of values (used for latency distributions).
+inline void PrintHistogram(const std::string& title, const std::vector<double>& values,
+                           const std::vector<double>& bucket_edges, const std::string& unit) {
+  printf("%s\n", title.c_str());
+  std::vector<int> counts(bucket_edges.size() + 1, 0);
+  for (double v : values) {
+    size_t b = 0;
+    while (b < bucket_edges.size() && v >= bucket_edges[b]) {
+      ++b;
+    }
+    ++counts[b];
+  }
+  for (size_t b = 0; b < counts.size(); ++b) {
+    std::string label;
+    if (b == 0) {
+      label = "< " + std::to_string(static_cast<long long>(bucket_edges[0]));
+    } else if (b == bucket_edges.size()) {
+      label = ">= " + std::to_string(static_cast<long long>(bucket_edges.back()));
+    } else {
+      label = std::to_string(static_cast<long long>(bucket_edges[b - 1])) + " - " +
+              std::to_string(static_cast<long long>(bucket_edges[b]));
+    }
+    printf("  %16s %s: %d\n", (label + " " + unit).c_str(),
+           std::string(static_cast<size_t>(counts[b] > 60 ? 60 : counts[b]), '#').c_str(),
+           counts[b]);
+  }
+  printf("\n");
+}
+
+}  // namespace pivot
+
+#endif  // PIVOT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,175 @@
+// Interactive-style walkthrough of the §6.1 root-cause investigation: the
+// HDFS replica-selection bug (HDFS-6268), diagnosed step by step with the
+// paper's queries. Each step installs a query at runtime, looks at the
+// results, and decides what to ask next — the "pivot" workflow the system is
+// named for.
+//
+// Build & run:  ./build/examples/replica_selection_debugging
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "src/common/strings.h"
+#include "src/hadoop/cluster.h"
+
+using namespace pivot;
+
+namespace {
+
+constexpr int64_t kStepSeconds = 6;
+int64_t g_now_s = 0;
+
+// Runs the workload for a few more seconds, then returns results of `query`.
+std::vector<Tuple> Observe(HadoopCluster* cluster, uint64_t query) {
+  g_now_s += kStepSeconds;
+  cluster->world()->RunUntil(g_now_s * kMicrosPerSecond);
+  return cluster->world()->frontend()->Results(query);
+}
+
+}  // namespace
+
+int main() {
+  HadoopClusterConfig config;
+  config.worker_hosts = 8;
+  config.dataset_files = 500;
+  config.seed = 6268;
+  config.deploy_hbase = false;
+  config.deploy_mapreduce = false;
+  config.hdfs.datanode_op_micros = 800;
+  config.hdfs.static_order_hosts = {"A", "D", "B", "C", "E", "F", "G", "H"};
+  HadoopCluster cluster(config);
+  Frontend* frontend = cluster.world()->frontend();
+
+  // The stress test: 4 clients per host doing closed-loop 8 kB reads.
+  std::vector<std::unique_ptr<HdfsReadWorkload>> clients;
+  uint64_t seed = 1;
+  for (int h = 0; h < 8; ++h) {
+    for (int c = 0; c < 4; ++c) {
+      SimProcess* proc = cluster.AddClient(cluster.worker(static_cast<size_t>(h)), "StressTest");
+      clients.push_back(std::make_unique<HdfsReadWorkload>(proc, cluster.namenode(), 8 << 10,
+                                                           10 * kMicrosPerMilli, true, seed++));
+      clients.back()->Start(120 * kMicrosPerSecond);
+    }
+  }
+  cluster.world()->StartAgentFlushLoop(120 * kMicrosPerSecond);
+
+  printf("Symptom: stress-test clients on hosts A and D are slower than the others,\n"
+         "and machine-level network counters are skewed. Let's find out why.\n\n");
+
+  // ---- Step 1 (Q3): is HDFS load balanced across DataNodes? ----
+  printf("Step 1 — install Q3: count DataTransferProtocol ops per DataNode.\n");
+  uint64_t q3 = *frontend->Install(
+      "From dnop In DN.DataTransferProtocol GroupBy dnop.host Select dnop.host, COUNT");
+  for (const Tuple& row : Observe(&cluster, q3)) {
+    printf("    %s\n", row.ToString().c_str());
+  }
+  printf("  -> Heavily skewed! A and D serve several times more requests than G or H,\n"
+         "     even though clients read files uniformly at random. Why?\n\n");
+
+  // ---- Step 2 (Q4): are the clients actually reading uniformly? ----
+  printf("Step 2 — install Q4: joins NameNode lookups to the client that made them.\n");
+  uint64_t q4 = *frontend->Install(
+      "From getloc In NN.GetBlockLocations\n"
+      "Join st In StressTest.DoNextOp On st -> getloc\n"
+      "GroupBy st.host, getloc.src Select st.host, getloc.src, COUNT");
+  {
+    auto rows = Observe(&cluster, q4);
+    std::map<std::string, double> per_client;
+    for (const Tuple& row : rows) {
+      per_client[row.Get("st.host").string_value()] += row.Get("COUNT").AsDouble();
+    }
+    printf("    distinct (client, file) pairs: %zu\n", rows.size());
+    for (const auto& [host, count] : per_client) {
+      printf("    client %s made %.0f lookups\n", host.c_str(), count);
+    }
+  }
+  printf("  -> Yes: every client reads uniformly at random. The skew is not the\n"
+         "     clients' doing.\n\n");
+
+  // ---- Step 3 (Q5): is block placement skewed? ----
+  printf("Step 3 — install Q5: how often is each DataNode a *replica location*?\n");
+  uint64_t q5 = *frontend->Install(
+      "From getloc In NN.GetBlockLocations\n"
+      "Join st In StressTest.DoNextOp On st -> getloc\n"
+      "GroupBy st.host, getloc.replicas Select st.host, getloc.replicas, COUNT");
+  {
+    std::map<std::string, double> replica_freq;
+    for (const Tuple& row : Observe(&cluster, q5)) {
+      for (const auto& host : StrSplit(row.Get("getloc.replicas").string_value(), ',')) {
+        replica_freq[host] += row.Get("COUNT").AsDouble();
+      }
+    }
+    for (const auto& [host, freq] : replica_freq) {
+      printf("    %s hosts a replica of the requested file %.0f times\n", host.c_str(), freq);
+    }
+  }
+  printf("  -> Near-uniform. Clients have equal opportunity to read from every\n"
+         "     DataNode... yet they don't. Who *selects* the replica?\n\n");
+
+  // ---- Step 4 (Q6): which DataNode does each client choose? ----
+  printf("Step 4 — install Q6: client host x selected DataNode.\n");
+  uint64_t q6 = *frontend->Install(
+      "From DNop In DN.DataTransferProtocol\n"
+      "Join st In StressTest.DoNextOp On st -> DNop\n"
+      "GroupBy st.host, DNop.host Select st.host, DNop.host, COUNT");
+  {
+    std::map<std::pair<std::string, std::string>, double> matrix;
+    for (const Tuple& row : Observe(&cluster, q6)) {
+      matrix[{row.Get("st.host").string_value(), row.Get("DNop.host").string_value()}] =
+          row.Get("COUNT").AsDouble();
+    }
+    printf("          ");
+    for (char c = 'A'; c <= 'H'; ++c) {
+      printf("%8c", c);
+    }
+    printf("\n");
+    for (char r = 'A'; r <= 'H'; ++r) {
+      printf("    %c ->  ", r);
+      for (char c = 'A'; c <= 'H'; ++c) {
+        printf("%8.0f", matrix[{std::string(1, r), std::string(1, c)}]);
+      }
+      printf("\n");
+    }
+  }
+  printf("  -> The strong diagonal is expected (clients prefer local replicas), but when\n"
+         "     there is no local replica, clients clearly favor A, then D, then B...\n\n");
+
+  // ---- Step 5 (Q7): given the choices offered, which replica wins? ----
+  printf("Step 5 — install Q7: 3-way join relating the chosen DataNode to the\n"
+         "         *other* replicas that were offered (non-local reads only).\n");
+  uint64_t q7 = *frontend->Install(
+      "From DNop In DN.DataTransferProtocol\n"
+      "Join getloc In NN.GetBlockLocations On getloc -> DNop\n"
+      "Join st In StressTest.DoNextOp On st -> getloc\n"
+      "Where st.host != DNop.host\n"
+      "GroupBy DNop.host, getloc.replicas Select DNop.host, getloc.replicas, COUNT");
+  {
+    std::map<std::string, std::pair<double, double>> win_loss;  // host -> (wins, appearances)
+    for (const Tuple& row : Observe(&cluster, q7)) {
+      double count = row.Get("COUNT").AsDouble();
+      std::string chosen = row.Get("DNop.host").string_value();
+      for (const auto& host : StrSplit(row.Get("getloc.replicas").string_value(), ',')) {
+        win_loss[host].second += count;
+        if (host == chosen) {
+          win_loss[host].first += count;
+        }
+      }
+    }
+    for (const auto& [host, wl] : win_loss) {
+      printf("    %s chosen %5.0f of %6.0f times it was offered (%.0f%%)\n", host.c_str(),
+             wl.first, wl.second, wl.second > 0 ? wl.first / wl.second * 100 : 0);
+    }
+  }
+  printf("  -> A wins whenever it is offered; D wins unless A is also offered; a strict\n"
+         "     total order. Conclusion: clients always take the FIRST location returned,\n"
+         "     and the NameNode does NOT randomize the rack-local ordering. That is\n"
+         "     HDFS-6268 — both halves of the bug, pinpointed with five runtime queries\n"
+         "     and zero recompilation.\n");
+
+  for (uint64_t q : {q3, q4, q5, q6, q7}) {
+    (void)frontend->Uninstall(q);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "src/agent/agent.h"
+
+namespace pivot {
+
+PTAgent::PTAgent(MessageBus* bus, TracepointRegistry* registry, ProcessInfo info)
+    : bus_(bus), registry_(registry), info_(std::move(info)) {
+  subscription_ =
+      bus_->Subscribe(kCommandTopic, [this](const BusMessage& msg) { HandleCommand(msg); });
+  // Announce ourselves so the frontend replays any already-active queries
+  // (processes can start after queries are installed).
+  bus_->Publish(BusMessage{kReportTopic, EncodeHello()});
+}
+
+PTAgent::~PTAgent() { bus_->Unsubscribe(subscription_); }
+
+void PTAgent::HandleCommand(const BusMessage& msg) {
+  Result<ControlMessage> decoded = DecodeControlMessage(msg.payload);
+  if (!decoded.ok()) {
+    return;  // Malformed commands are dropped; agents must not crash hosts.
+  }
+  switch (decoded->type) {
+    case ControlMessageType::kWeave: {
+      const WeaveCommand& cmd = decoded->weave;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queries_.count(cmd.query_id) != 0) {
+          return;  // Duplicate weave; ignore.
+        }
+        QueryState state;
+        state.plan = cmd.plan;
+        state.agg = Aggregator(cmd.plan.group_fields, cmd.plan.aggs);
+        queries_.emplace(cmd.query_id, std::move(state));
+      }
+      // Hand the registry the full advice list: tracepoints this process does
+      // not define are woven lazily if/when they are defined (deferred
+      // weaving), and foreign tracepoints simply never fire here.
+      (void)registry_->WeaveQuery(cmd.query_id, cmd.advice);
+      break;
+    }
+    case ControlMessageType::kUnweave: {
+      registry_->UnweaveQuery(decoded->unweave_query_id);
+      std::lock_guard<std::mutex> lock(mu_);
+      queries_.erase(decoded->unweave_query_id);
+      break;
+    }
+    case ControlMessageType::kReport:
+    case ControlMessageType::kHello:
+      break;  // Agents ignore other agents' traffic.
+  }
+}
+
+void PTAgent::EmitTuple(uint64_t query_id, const Tuple& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return;  // Query was unwoven concurrently; drop.
+  }
+  QueryState& state = it->second;
+  ++state.emitted;
+  ++emitted_total_;
+  if (state.plan.aggregated) {
+    state.agg.AddInput(t);
+  } else {
+    state.buffered.push_back(t);
+  }
+}
+
+void PTAgent::Flush(int64_t now_micros) {
+  std::vector<AgentReport> reports;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [query_id, state] : queries_) {
+      AgentReport report;
+      report.query_id = query_id;
+      report.host = info_.host;
+      report.process_name = info_.process_name;
+      report.timestamp_micros = now_micros;
+      report.aggregated = state.plan.aggregated;
+      if (state.plan.aggregated) {
+        if (state.agg.empty()) {
+          continue;
+        }
+        report.tuples = state.agg.StateTuples();
+        state.agg.Clear();
+      } else {
+        if (state.buffered.empty()) {
+          continue;
+        }
+        report.tuples = std::move(state.buffered);
+        state.buffered.clear();
+      }
+      reported_total_ += report.tuples.size();
+      ++reports_published_;
+      reports.push_back(std::move(report));
+    }
+  }
+  for (const auto& report : reports) {
+    bus_->Publish(BusMessage{kReportTopic, EncodeReport(report)});
+  }
+}
+
+uint64_t PTAgent::emitted_tuples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_total_;
+}
+
+uint64_t PTAgent::reported_tuples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reported_total_;
+}
+
+uint64_t PTAgent::reports_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_published_;
+}
+
+}  // namespace pivot

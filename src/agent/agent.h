@@ -1,0 +1,86 @@
+// PTAgent: the per-process Pivot Tracing agent (§5 "Agent").
+//
+// "A Pivot Tracing agent thread runs in every Pivot Tracing-enabled process
+// and awaits instruction via central pub/sub server to weave advice to
+// tracepoints. Tuples emitted by advice are accumulated by the local Pivot
+// Tracing agent, which performs partial aggregation of tuples according to
+// their source query. Agents publish partial query results at a configurable
+// interval — by default, one second."
+//
+// The agent implements EmitSink (wired into the process's ProcessRuntime), so
+// advice Emit ops feed it directly in-process. Flush() publishes the interval
+// report; the simulator calls it once per simulated second, a real deployment
+// would drive it from a timer thread.
+
+#ifndef PIVOT_SRC_AGENT_AGENT_H_
+#define PIVOT_SRC_AGENT_AGENT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/agent/protocol.h"
+#include "src/bus/message_bus.h"
+#include "src/core/aggregation.h"
+#include "src/core/context.h"
+#include "src/core/tracepoint.h"
+
+namespace pivot {
+
+class PTAgent : public EmitSink {
+ public:
+  // `registry` is the process's tracepoint registry the agent weaves into;
+  // `info` identifies the process in reports. The agent subscribes to the
+  // command topic immediately.
+  PTAgent(MessageBus* bus, TracepointRegistry* registry, ProcessInfo info);
+  ~PTAgent() override;
+
+  PTAgent(const PTAgent&) = delete;
+  PTAgent& operator=(const PTAgent&) = delete;
+
+  // EmitSink: advice output lands here and is partially aggregated (or
+  // buffered, for streaming queries) per source query.
+  void EmitTuple(uint64_t query_id, const Tuple& t) override;
+
+  // Publishes one report per active query covering the interval ending at
+  // `now_micros`, then resets interval state. Queries with nothing to report
+  // publish nothing (quiet processes stay quiet on the bus).
+  void Flush(int64_t now_micros);
+
+  // ---- Statistics (used by the overhead/traffic benches) ----
+
+  // Tuples handed to the agent by advice since construction.
+  uint64_t emitted_tuples() const;
+  // Tuples shipped to the frontend in reports (post partial aggregation).
+  uint64_t reported_tuples() const;
+  uint64_t reports_published() const;
+
+  const ProcessInfo& info() const { return info_; }
+
+ private:
+  void HandleCommand(const BusMessage& msg);
+
+  struct QueryState {
+    ResultPlan plan;
+    Aggregator agg{{}, {}};        // Interval partial aggregation.
+    std::vector<Tuple> buffered;   // Streaming rows for this interval.
+    uint64_t emitted = 0;
+  };
+
+  MessageBus* bus_;
+  TracepointRegistry* registry_;
+  ProcessInfo info_;
+  MessageBus::SubscriberId subscription_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, QueryState> queries_;
+  uint64_t emitted_total_ = 0;
+  uint64_t reported_total_ = 0;
+  uint64_t reports_published_ = 0;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_AGENT_AGENT_H_

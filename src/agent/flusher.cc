@@ -1,0 +1,39 @@
+#include "src/agent/flusher.h"
+
+namespace pivot {
+
+void AgentFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (thread_.joinable()) {
+        thread_.join();
+      }
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void AgentFlusher::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    agent_->Flush(NowMicros());
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  lock.unlock();
+  // Final flush on shutdown.
+  agent_->Flush(NowMicros());
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pivot

@@ -1,0 +1,59 @@
+// AgentFlusher: drives PTAgent::Flush on a real timer thread.
+//
+// The simulator calls Flush at simulated-second boundaries; a real deployment
+// instead runs this RAII helper per process — "Agents publish partial query
+// results at a configurable interval – by default, one second" (§5).
+
+#ifndef PIVOT_SRC_AGENT_FLUSHER_H_
+#define PIVOT_SRC_AGENT_FLUSHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/agent/agent.h"
+
+namespace pivot {
+
+class AgentFlusher {
+ public:
+  // Starts a thread flushing `agent` every `interval`. The agent must
+  // outlive this object.
+  explicit AgentFlusher(PTAgent* agent,
+                        std::chrono::milliseconds interval = std::chrono::milliseconds(1000))
+      : agent_(agent), interval_(interval), thread_([this] { Run(); }) {}
+
+  ~AgentFlusher() { Stop(); }
+
+  AgentFlusher(const AgentFlusher&) = delete;
+  AgentFlusher& operator=(const AgentFlusher&) = delete;
+
+  // Stops the flusher after one final flush (so shutdown loses no tuples).
+  // Idempotent.
+  void Stop();
+
+  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+
+  static int64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  PTAgent* agent_;
+  std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> flushes_{0};
+  std::thread thread_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_AGENT_FLUSHER_H_

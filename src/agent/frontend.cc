@@ -1,0 +1,271 @@
+#include "src/agent/frontend.h"
+
+#include "src/query/parser.h"
+
+namespace pivot {
+
+Frontend::Frontend(MessageBus* bus, const TracepointRegistry* schema)
+    : bus_(bus), schema_(schema) {
+  subscription_ =
+      bus_->Subscribe(kReportTopic, [this](const BusMessage& msg) { HandleReport(msg); });
+}
+
+Frontend::~Frontend() { bus_->Unsubscribe(subscription_); }
+
+Status Frontend::RegisterNamedQuery(const std::string& name, std::string_view text) {
+  Result<Query> q = ParseQuery(text);
+  if (!q.ok()) {
+    return q.status();
+  }
+  return named_queries_.Register(name, std::move(q).value());
+}
+
+Result<uint64_t> Frontend::Install(std::string_view text) {
+  return Install(text, QueryCompiler::Options{});
+}
+
+Result<uint64_t> Frontend::Install(std::string_view text, const QueryCompiler::Options& options) {
+  Result<Query> parsed = ParseQuery(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  QueryCompiler compiler(schema_, &named_queries_, options);
+
+  uint64_t query_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    query_id = next_query_id_++;
+  }
+  Result<CompiledQuery> compiled = compiler.Compile(parsed.value(), query_id);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  return InstallCompiled(std::move(compiled).value());
+}
+
+Result<uint64_t> Frontend::InstallExplain(std::string_view text) {
+  Result<Query> parsed = ParseQuery(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  QueryCompiler compiler(schema_, &named_queries_);
+  uint64_t real_id;
+  uint64_t shadow_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    real_id = next_query_id_++;
+    shadow_id = next_query_id_++;
+  }
+  Result<CompiledQuery> compiled = compiler.Compile(parsed.value(), real_id);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  return InstallCompiled(MakeCountingQuery(*compiled, shadow_id));
+}
+
+Result<uint64_t> Frontend::InstallCompiled(CompiledQuery compiled) {
+  // Take over the compiled query's id if it was minted by us; otherwise mint
+  // a fresh one and require the caller to have used non-colliding bag keys.
+  uint64_t query_id = compiled.query_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (query_id == 0 || queries_.count(query_id) != 0) {
+      query_id = next_query_id_++;
+      compiled.query_id = query_id;
+    }
+  }
+
+  WeaveCommand cmd;
+  cmd.query_id = query_id;
+  cmd.advice = compiled.advice;
+  cmd.plan.aggregated = compiled.aggregated;
+  cmd.plan.group_fields = compiled.group_fields;
+  cmd.plan.aggs = compiled.aggs;
+  cmd.plan.output_columns = compiled.output_columns;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QueryResults results;
+    results.compiled = std::move(compiled);
+    // The frontend's cumulative/interval aggregators combine *state tuples*
+    // from agents, so every spec switches to the combiner path.
+    std::vector<AggSpec> combine_specs = cmd.plan.aggs;
+    for (auto& spec : combine_specs) {
+      spec.input = spec.output;
+      spec.from_state = true;
+    }
+    results.total = Aggregator(cmd.plan.group_fields, combine_specs);
+    queries_.emplace(query_id, std::move(results));
+  }
+
+  bus_->Publish(BusMessage{kCommandTopic, EncodeWeave(cmd)});
+  return query_id;
+}
+
+Status Frontend::Uninstall(uint64_t query_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return NotFoundError("unknown query: " + std::to_string(query_id));
+    }
+    it->second.active = false;
+  }
+  bus_->Publish(BusMessage{kCommandTopic, EncodeUnweave(query_id)});
+  return Status::Ok();
+}
+
+const CompiledQuery* Frontend::compiled(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : &it->second.compiled;
+}
+
+void Frontend::HandleReport(const BusMessage& msg) {
+  Result<ControlMessage> decoded = DecodeControlMessage(msg.payload);
+  if (!decoded.ok()) {
+    return;
+  }
+  if (decoded->type == ControlMessageType::kHello) {
+    // A new agent came up: replay the weave commands of every active query so
+    // late-starting processes participate in standing queries. Duplicate
+    // weaves are ignored by agents that already have them.
+    std::vector<std::vector<uint8_t>> replays;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [id, q] : queries_) {
+        if (!q.active) {
+          continue;
+        }
+        WeaveCommand cmd;
+        cmd.query_id = id;
+        cmd.advice = q.compiled.advice;
+        cmd.plan.aggregated = q.compiled.aggregated;
+        cmd.plan.group_fields = q.compiled.group_fields;
+        cmd.plan.aggs = q.compiled.aggs;
+        cmd.plan.output_columns = q.compiled.output_columns;
+        replays.push_back(EncodeWeave(cmd));
+      }
+    }
+    for (auto& payload : replays) {
+      bus_->Publish(BusMessage{kCommandTopic, std::move(payload)});
+    }
+    return;
+  }
+  if (decoded->type != ControlMessageType::kReport) {
+    return;
+  }
+  const AgentReport& report = decoded->report;
+
+  ResultListener listener;
+  std::vector<Tuple> listener_rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(report.query_id);
+    if (it == queries_.end() || !it->second.active) {
+      return;
+    }
+    QueryResults& q = it->second;
+    ++reports_received_;
+    tuples_received_ += report.tuples.size();
+
+    if (q.compiled.aggregated) {
+      auto [interval_it, inserted] = q.interval_aggs.try_emplace(
+          report.timestamp_micros, q.total.group_fields(), q.total.specs());
+      for (const auto& t : report.tuples) {
+        q.total.AddState(t);
+        interval_it->second.AddState(t);
+      }
+      if (q.listener) {
+        // Finalize just this report's contribution for the listener.
+        Aggregator just_this(q.total.group_fields(), q.total.specs());
+        for (const auto& t : report.tuples) {
+          just_this.AddState(t);
+        }
+        listener_rows = just_this.Finalize();
+      }
+    } else {
+      auto& rows = q.interval_rows[report.timestamp_micros];
+      for (const auto& t : report.tuples) {
+        q.total_rows.push_back(t);
+        rows.push_back(t);
+      }
+      listener_rows = report.tuples;
+    }
+    listener = q.listener;
+  }
+  // Invoke outside the lock so listeners may call back into the frontend.
+  if (listener) {
+    listener(report.timestamp_micros, listener_rows);
+  }
+}
+
+Status Frontend::SetResultListener(uint64_t query_id, ResultListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return NotFoundError("unknown query: " + std::to_string(query_id));
+  }
+  it->second.listener = std::move(listener);
+  return Status::Ok();
+}
+
+std::vector<Tuple> Frontend::Results(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return {};
+  }
+  if (it->second.compiled.aggregated) {
+    return it->second.total.Finalize();
+  }
+  return it->second.total_rows;
+}
+
+std::map<int64_t, std::vector<Tuple>> Frontend::Series(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return {};
+  }
+  if (it->second.compiled.aggregated) {
+    std::map<int64_t, std::vector<Tuple>> out;
+    for (const auto& [ts, agg] : it->second.interval_aggs) {
+      out.emplace(ts, agg.Finalize());
+    }
+    return out;
+  }
+  return it->second.interval_rows;
+}
+
+void Frontend::TrimSeriesBefore(uint64_t query_id, int64_t before_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto trim = [before_micros](QueryResults& q) {
+    q.interval_aggs.erase(q.interval_aggs.begin(),
+                          q.interval_aggs.lower_bound(before_micros));
+    q.interval_rows.erase(q.interval_rows.begin(),
+                          q.interval_rows.lower_bound(before_micros));
+  };
+  if (query_id == 0) {
+    for (auto& [id, q] : queries_) {
+      trim(q);
+    }
+    return;
+  }
+  auto it = queries_.find(query_id);
+  if (it != queries_.end()) {
+    trim(it->second);
+  }
+}
+
+uint64_t Frontend::reports_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_received_;
+}
+
+uint64_t Frontend::tuples_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tuples_received_;
+}
+
+}  // namespace pivot

@@ -1,0 +1,117 @@
+// Frontend: the client-facing entry point of Pivot Tracing (Fig 2 ①②⑦⑧).
+//
+// Users hand the frontend query text; it parses, optimizes and compiles the
+// query to advice, publishes a weave command to every agent, and merges the
+// streaming partial results the agents report back — per reporting interval
+// (for time-series views like Fig 1a) and cumulatively (for totals).
+
+#ifndef PIVOT_SRC_AGENT_FRONTEND_H_
+#define PIVOT_SRC_AGENT_FRONTEND_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/agent/protocol.h"
+#include "src/bus/message_bus.h"
+#include "src/common/status.h"
+#include "src/core/tracepoint.h"
+#include "src/query/compiler.h"
+
+namespace pivot {
+
+class Frontend {
+ public:
+  // `schema` is a registry holding every tracepoint definition in the system,
+  // used to validate queries at compile time (nullable to skip validation).
+  Frontend(MessageBus* bus, const TracepointRegistry* schema);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  // Named-query registry for subquery joins (register Q8, then install Q9).
+  Status RegisterNamedQuery(const std::string& name, std::string_view text);
+
+  // Parses, compiles and installs a query; returns its id. `options` toggles
+  // the §4 optimizations (used by the ablation benches).
+  Result<uint64_t> Install(std::string_view text);
+  Result<uint64_t> Install(std::string_view text, const QueryCompiler::Options& options);
+
+  // Installs the §4 "explain" form of a query: the same tracepoints, joins
+  // and packing, but every stage counts tuples instead of computing the
+  // final aggregation. Results(id) rows are ($stage, COUNT) — a live preview
+  // of what the real query would pack and emit, per tracepoint.
+  Result<uint64_t> InstallExplain(std::string_view text);
+
+  // Installs an externally-built compiled query (advanced; the query id
+  // inside `compiled` is replaced with a fresh one and returned).
+  Result<uint64_t> InstallCompiled(CompiledQuery compiled);
+
+  // Removes the query's advice everywhere and stops collecting its results.
+  // Accumulated results remain readable.
+  Status Uninstall(uint64_t query_id);
+
+  const CompiledQuery* compiled(uint64_t query_id) const;
+
+  // ---- Results ----
+
+  // Cumulative results since installation: finalized aggregates (group fields
+  // + aggregate columns) or all streamed rows.
+  std::vector<Tuple> Results(uint64_t query_id) const;
+
+  // Per-interval results keyed by the agents' report timestamp (micros) —
+  // the data behind the paper's time-series plots.
+  std::map<int64_t, std::vector<Tuple>> Series(uint64_t query_id) const;
+
+  // Streaming consumption: `listener` is invoked for every agent report that
+  // arrives for the query, with the report's interval timestamp and its
+  // finalized rows ("returning a streaming dataset of results", §1). Called
+  // on the reporting thread; keep it cheap. One listener per query.
+  using ResultListener = std::function<void(int64_t timestamp_micros,
+                                            const std::vector<Tuple>& rows)>;
+  Status SetResultListener(uint64_t query_id, ResultListener listener);
+
+  // Drops per-interval results older than `before_micros` for one query (or
+  // for all queries when query_id is 0). Cumulative totals are unaffected.
+  // Standing queries otherwise accumulate one interval entry per second
+  // forever; long-running monitors should trim periodically.
+  void TrimSeriesBefore(uint64_t query_id, int64_t before_micros);
+
+  // ---- Statistics ----
+
+  uint64_t reports_received() const;
+  uint64_t tuples_received() const;
+
+ private:
+  struct QueryResults {
+    CompiledQuery compiled;
+    bool active = true;
+    ResultListener listener;
+    Aggregator total{{}, {}};
+    std::vector<Tuple> total_rows;                      // Streaming queries.
+    std::map<int64_t, Aggregator> interval_aggs;        // Aggregated queries.
+    std::map<int64_t, std::vector<Tuple>> interval_rows;  // Streaming queries.
+  };
+
+  void HandleReport(const BusMessage& msg);
+
+  MessageBus* bus_;
+  const TracepointRegistry* schema_;
+  QueryRegistry named_queries_;
+  MessageBus::SubscriberId subscription_ = 0;
+
+  mutable std::mutex mu_;
+  uint64_t next_query_id_ = 1;
+  std::map<uint64_t, QueryResults> queries_;
+  uint64_t reports_received_ = 0;
+  uint64_t tuples_received_ = 0;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_AGENT_FRONTEND_H_

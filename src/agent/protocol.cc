@@ -1,0 +1,188 @@
+#include "src/agent/protocol.h"
+
+#include "src/common/varint.h"
+#include "src/core/advice_io.h"
+#include "src/core/baggage.h"
+#include "src/core/wire.h"
+
+namespace pivot {
+
+namespace {
+
+void PutStringList(std::vector<uint8_t>* out, const std::vector<std::string>& v) {
+  PutVarint64(out, v.size());
+  for (const auto& s : v) {
+    PutString(out, s);
+  }
+}
+
+bool GetStringList(const uint8_t* data, size_t size, size_t* pos, std::vector<std::string>* v) {
+  uint64_t n = 0;
+  if (!GetVarint64(data, size, pos, &n) || n > size) {
+    return false;
+  }
+  v->clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!GetString(data, size, pos, &s)) {
+      return false;
+    }
+    v->push_back(std::move(s));
+  }
+  return true;
+}
+
+void PutPlan(std::vector<uint8_t>* out, const ResultPlan& plan) {
+  out->push_back(plan.aggregated ? 1 : 0);
+  PutStringList(out, plan.group_fields);
+  PutVarint64(out, plan.aggs.size());
+  for (const auto& a : plan.aggs) {
+    out->push_back(static_cast<uint8_t>(a.fn));
+    out->push_back(a.from_state ? 1 : 0);
+    PutString(out, a.input);
+    PutString(out, a.output);
+  }
+  PutStringList(out, plan.output_columns);
+}
+
+bool GetPlan(const uint8_t* data, size_t size, size_t* pos, ResultPlan* plan) {
+  if (*pos >= size) {
+    return false;
+  }
+  plan->aggregated = data[(*pos)++] != 0;
+  if (!GetStringList(data, size, pos, &plan->group_fields)) {
+    return false;
+  }
+  uint64_t naggs = 0;
+  if (!GetVarint64(data, size, pos, &naggs) || naggs > size) {
+    return false;
+  }
+  plan->aggs.clear();
+  for (uint64_t i = 0; i < naggs; ++i) {
+    if (size - *pos < 2) {
+      return false;
+    }
+    AggSpec a;
+    uint8_t fn = data[(*pos)++];
+    if (fn > static_cast<uint8_t>(AggFn::kAverage)) {
+      return false;
+    }
+    a.fn = static_cast<AggFn>(fn);
+    a.from_state = data[(*pos)++] != 0;
+    if (!GetString(data, size, pos, &a.input) || !GetString(data, size, pos, &a.output)) {
+      return false;
+    }
+    plan->aggs.push_back(std::move(a));
+  }
+  return GetStringList(data, size, pos, &plan->output_columns);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWeave(const WeaveCommand& cmd) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(ControlMessageType::kWeave));
+  PutVarint64(&out, cmd.query_id);
+  PutVarint64(&out, cmd.advice.size());
+  for (const auto& [tp, adv] : cmd.advice) {
+    PutString(&out, tp);
+    EncodeAdvice(&out, *adv);
+  }
+  PutPlan(&out, cmd.plan);
+  return out;
+}
+
+std::vector<uint8_t> EncodeUnweave(uint64_t query_id) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(ControlMessageType::kUnweave));
+  PutVarint64(&out, query_id);
+  return out;
+}
+
+std::vector<uint8_t> EncodeReport(const AgentReport& report) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(ControlMessageType::kReport));
+  PutVarint64(&out, report.query_id);
+  PutString(&out, report.host);
+  PutString(&out, report.process_name);
+  PutVarintSigned64(&out, report.timestamp_micros);
+  out.push_back(report.aggregated ? 1 : 0);
+  PutVarint64(&out, report.tuples.size());
+  for (const auto& t : report.tuples) {
+    PutTuple(&out, t);
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeHello() {
+  return {static_cast<uint8_t>(ControlMessageType::kHello)};
+}
+
+Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload) {
+  const uint8_t* data = payload.data();
+  size_t size = payload.size();
+  size_t pos = 0;
+  if (size == 0) {
+    return DataLossError("empty control message");
+  }
+  ControlMessage msg;
+  uint8_t type = data[pos++];
+  switch (static_cast<ControlMessageType>(type)) {
+    case ControlMessageType::kWeave: {
+      msg.type = ControlMessageType::kWeave;
+      uint64_t nadvice = 0;
+      if (!GetVarint64(data, size, &pos, &msg.weave.query_id) ||
+          !GetVarint64(data, size, &pos, &nadvice) || nadvice > size) {
+        return DataLossError("bad weave command");
+      }
+      for (uint64_t i = 0; i < nadvice; ++i) {
+        std::string tp;
+        Advice::Ptr adv;
+        if (!GetString(data, size, &pos, &tp) || !DecodeAdvice(data, size, &pos, &adv)) {
+          return DataLossError("bad weave advice");
+        }
+        msg.weave.advice.emplace_back(std::move(tp), std::move(adv));
+      }
+      if (!GetPlan(data, size, &pos, &msg.weave.plan)) {
+        return DataLossError("bad weave plan");
+      }
+      return msg;
+    }
+    case ControlMessageType::kUnweave: {
+      msg.type = ControlMessageType::kUnweave;
+      if (!GetVarint64(data, size, &pos, &msg.unweave_query_id)) {
+        return DataLossError("bad unweave command");
+      }
+      return msg;
+    }
+    case ControlMessageType::kReport: {
+      msg.type = ControlMessageType::kReport;
+      AgentReport& r = msg.report;
+      uint64_t ntuples = 0;
+      if (!GetVarint64(data, size, &pos, &r.query_id) || !GetString(data, size, &pos, &r.host) ||
+          !GetString(data, size, &pos, &r.process_name) ||
+          !GetVarintSigned64(data, size, &pos, &r.timestamp_micros) || pos >= size) {
+        return DataLossError("bad report header");
+      }
+      r.aggregated = data[pos++] != 0;
+      if (!GetVarint64(data, size, &pos, &ntuples) || ntuples > size) {
+        return DataLossError("bad report tuple count");
+      }
+      for (uint64_t i = 0; i < ntuples; ++i) {
+        Tuple t;
+        if (!GetTuple(data, size, &pos, &t)) {
+          return DataLossError("bad report tuple");
+        }
+        r.tuples.push_back(std::move(t));
+      }
+      return msg;
+    }
+    case ControlMessageType::kHello:
+      msg.type = ControlMessageType::kHello;
+      return msg;
+    default:
+      return DataLossError("unknown control message type");
+  }
+}
+
+}  // namespace pivot

@@ -1,0 +1,78 @@
+// Control-plane protocol between the Pivot Tracing frontend and PT agents.
+//
+// Three message kinds flow over the bus (Fig 2):
+//   Weave    frontend → agents: query id, per-tracepoint advice, result plan
+//   Unweave  frontend → agents: query id
+//   Report   agent → frontend: one interval's partial results for one query
+//
+// Everything is byte-encoded with the wire codec so the protocol crosses
+// (simulated) process boundaries the same way a real deployment would.
+
+#ifndef PIVOT_SRC_AGENT_PROTOCOL_H_
+#define PIVOT_SRC_AGENT_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/advice.h"
+#include "src/core/aggregation.h"
+#include "src/core/tuple.h"
+
+namespace pivot {
+
+// How agents and the frontend process a query's emitted tuples.
+struct ResultPlan {
+  bool aggregated = false;
+  std::vector<std::string> group_fields;
+  std::vector<AggSpec> aggs;                // from_state marks pushed-down aggregates.
+  std::vector<std::string> output_columns;  // Final column order (may be empty).
+};
+
+struct WeaveCommand {
+  uint64_t query_id = 0;
+  std::vector<std::pair<std::string, Advice::Ptr>> advice;  // (tracepoint, advice).
+  ResultPlan plan;
+};
+
+struct AgentReport {
+  uint64_t query_id = 0;
+  std::string host;
+  std::string process_name;
+  int64_t timestamp_micros = 0;  // Interval this report covers (its end).
+  bool aggregated = false;
+  // Aggregate state tuples (combinable) or raw streamed rows.
+  std::vector<Tuple> tuples;
+};
+
+enum class ControlMessageType : uint8_t {
+  kWeave = 1,
+  kUnweave = 2,
+  kReport = 3,
+  // Agent startup announcement (agent -> frontend): prompts the frontend to
+  // re-publish the weave commands of all active queries, so processes that
+  // start *after* a query was installed still weave it ("standing queries
+  // for long-running system monitoring", §1).
+  kHello = 4,
+};
+
+std::vector<uint8_t> EncodeWeave(const WeaveCommand& cmd);
+std::vector<uint8_t> EncodeUnweave(uint64_t query_id);
+std::vector<uint8_t> EncodeReport(const AgentReport& report);
+std::vector<uint8_t> EncodeHello();
+
+// Decoded union; `type` selects the valid member.
+struct ControlMessage {
+  ControlMessageType type = ControlMessageType::kWeave;
+  WeaveCommand weave;
+  uint64_t unweave_query_id = 0;
+  AgentReport report;
+};
+
+Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_AGENT_PROTOCOL_H_

@@ -1,0 +1,56 @@
+#include "src/bus/message_bus.h"
+
+namespace pivot {
+
+MessageBus::SubscriberId MessageBus::Subscribe(std::string topic, Callback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubscriberId id = next_id_++;
+  topics_[std::move(topic)].push_back(
+      Subscriber{id, std::make_shared<Callback>(std::move(callback))});
+  return id;
+}
+
+void MessageBus::Unsubscribe(SubscriberId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [topic, subs] : topics_) {
+    for (auto it = subs.begin(); it != subs.end(); ++it) {
+      if (it->id == id) {
+        subs.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+void MessageBus::Publish(BusMessage msg) {
+  // Snapshot subscribers so callbacks can mutate subscriptions reentrantly.
+  std::vector<std::shared_ptr<Callback>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++published_;
+    auto it = topics_.find(msg.topic);
+    if (it != topics_.end()) {
+      callbacks.reserve(it->second.size());
+      for (const auto& sub : it->second) {
+        callbacks.push_back(sub.callback);
+      }
+    }
+  }
+  for (const auto& cb : callbacks) {
+    (*cb)(msg);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++delivered_;
+  }
+}
+
+uint64_t MessageBus::published_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+uint64_t MessageBus::delivered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+}  // namespace pivot

@@ -1,0 +1,69 @@
+// Topic-based publish/subscribe message bus (Fig 2's "message bus").
+//
+// The frontend publishes weave/unweave commands on a command topic that every
+// PT agent subscribes to; agents publish partial query results on a report
+// topic the frontend subscribes to. Delivery is synchronous and in
+// subscription order, which keeps the simulator deterministic; the bus is
+// nevertheless thread-safe so real multi-threaded deployments can share one.
+
+#ifndef PIVOT_SRC_BUS_MESSAGE_BUS_H_
+#define PIVOT_SRC_BUS_MESSAGE_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pivot {
+
+struct BusMessage {
+  std::string topic;
+  std::vector<uint8_t> payload;
+};
+
+// Well-known topics used by the Pivot Tracing control plane.
+inline constexpr char kCommandTopic[] = "pivottracing/commands";
+inline constexpr char kReportTopic[] = "pivottracing/reports";
+
+class MessageBus {
+ public:
+  using SubscriberId = uint64_t;
+  using Callback = std::function<void(const BusMessage&)>;
+
+  MessageBus() = default;
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  // Registers `callback` for messages on `topic`. The returned id cancels the
+  // subscription via Unsubscribe.
+  SubscriberId Subscribe(std::string topic, Callback callback);
+  void Unsubscribe(SubscriberId id);
+
+  // Delivers `msg` synchronously to every current subscriber of its topic, in
+  // subscription order. Callbacks run without the bus lock held, so they may
+  // publish or (un)subscribe reentrantly.
+  void Publish(BusMessage msg);
+
+  // Diagnostics.
+  uint64_t published_count() const;
+  uint64_t delivered_count() const;
+
+ private:
+  struct Subscriber {
+    SubscriberId id;
+    std::shared_ptr<Callback> callback;
+  };
+
+  mutable std::mutex mu_;
+  SubscriberId next_id_ = 1;
+  std::map<std::string, std::vector<Subscriber>> topics_;
+  uint64_t published_ = 0;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_BUS_MESSAGE_BUS_H_

@@ -1,0 +1,35 @@
+#include "src/common/rand.h"
+
+#include <cmath>
+
+namespace pivot {
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0);
+  // Inverse transform; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(1.0 - u);
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double target = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slop: fall back to the last bucket.
+}
+
+}  // namespace pivot

@@ -1,0 +1,133 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// The library does not use exceptions (following the Google C++ style this
+// repository adopts); fallible operations return Status or Result<T>. Result<T>
+// is a minimal analogue of absl::StatusOr<T>.
+
+#ifndef PIVOT_SRC_COMMON_STATUS_H_
+#define PIVOT_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pivot {
+
+// Coarse error taxonomy; mirrors the handful of failure classes the library
+// actually produces (parse errors, lookup failures, malformed wire data, ...).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic success-or-error type. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Accessing value() on an error Result is a programming error and
+// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions mirror absl::StatusOr ergonomics:
+  //   Result<int> F() { if (bad) return InvalidArgumentError("..."); return 42; }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace pivot
+
+// Propagates a non-OK Status from an expression, absl-style.
+#define PIVOT_RETURN_IF_ERROR(expr)     \
+  do {                                  \
+    ::pivot::Status _st = (expr);       \
+    if (!_st.ok()) {                    \
+      return _st;                       \
+    }                                   \
+  } while (0)
+
+#endif  // PIVOT_SRC_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string helpers shared across modules (no dependency on absl).
+
+#ifndef PIVOT_SRC_COMMON_STRINGS_H_
+#define PIVOT_SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pivot {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+// ASCII case-insensitive equality (used by the query language keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_COMMON_STRINGS_H_

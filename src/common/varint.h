@@ -1,0 +1,45 @@
+// LEB128-style variable-length integer codec.
+//
+// This is the primitive underneath the baggage wire format (src/core/wire.h).
+// It is the same base-128 encoding protocol buffers use, which the paper's
+// prototype relied on for baggage serialization; see DESIGN.md §1 for the
+// substitution note.
+
+#ifndef PIVOT_SRC_COMMON_VARINT_H_
+#define PIVOT_SRC_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pivot {
+
+// Appends `value` to `out` as a base-128 varint (1..10 bytes).
+void PutVarint64(std::vector<uint8_t>* out, uint64_t value);
+
+// Zig-zag encodes `value` then varint-encodes it; small negative numbers stay
+// small on the wire.
+void PutVarintSigned64(std::vector<uint8_t>* out, int64_t value);
+
+// Reads a varint from data[*pos..size). On success advances *pos and returns
+// true; returns false on truncated or overlong (>10 byte) input, leaving *pos
+// unspecified.
+bool GetVarint64(const uint8_t* data, size_t size, size_t* pos, uint64_t* value);
+
+// Zig-zag decoding counterpart of PutVarintSigned64.
+bool GetVarintSigned64(const uint8_t* data, size_t size, size_t* pos, int64_t* value);
+
+// Number of bytes PutVarint64 would append for `value`.
+size_t VarintLength(uint64_t value);
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_COMMON_VARINT_H_

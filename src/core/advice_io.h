@@ -1,0 +1,28 @@
+// Wire codec for expressions and advice programs.
+//
+// The frontend compiles queries to advice and ships the advice to every PT
+// agent over the message bus (Fig 2 ③④); agents decode and weave it locally.
+// Decoding is safe on untrusted bytes (bounds-checked, depth-capped) and
+// preserves the advice safety guarantees: the decoded program is the same
+// loop-free instruction list that was encoded.
+
+#ifndef PIVOT_SRC_CORE_ADVICE_IO_H_
+#define PIVOT_SRC_CORE_ADVICE_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/advice.h"
+#include "src/core/expr.h"
+
+namespace pivot {
+
+void EncodeExpr(std::vector<uint8_t>* out, const Expr::Ptr& e);
+bool DecodeExpr(const uint8_t* data, size_t size, size_t* pos, Expr::Ptr* out);
+
+void EncodeAdvice(std::vector<uint8_t>* out, const Advice& advice);
+bool DecodeAdvice(const uint8_t* data, size_t size, size_t* pos, Advice::Ptr* out);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_CORE_ADVICE_IO_H_

@@ -1,0 +1,220 @@
+#include "src/core/aggregation.h"
+
+#include <cassert>
+
+namespace pivot {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kAverage:
+      return "AVERAGE";
+  }
+  return "?";
+}
+
+std::vector<std::string> AggSpec::StateColumns() const {
+  if (fn == AggFn::kAverage) {
+    return {output, output + "#n"};
+  }
+  return {output};
+}
+
+Aggregator::Aggregator(std::vector<std::string> group_fields, std::vector<AggSpec> specs)
+    : group_fields_(std::move(group_fields)), specs_(std::move(specs)) {}
+
+namespace {
+
+// Canonical string form of the group key: type-tagged so that e.g. int 1 and
+// string "1" land in different groups.
+std::string CanonicalKey(const Tuple& t, const std::vector<std::string>& fields) {
+  std::string key;
+  for (const auto& f : fields) {
+    Value v = t.Get(f);
+    key += static_cast<char>('0' + static_cast<int>(v.type()));
+    key += v.ToString();
+    key += '\x1f';  // Unit separator: cannot appear in rendered numbers.
+  }
+  return key;
+}
+
+}  // namespace
+
+Aggregator::Group& Aggregator::GroupFor(const Tuple& t) {
+  std::string key = CanonicalKey(t, group_fields_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    return groups_[it->second];
+  }
+  Group g;
+  g.key_tuple = t.Project(group_fields_);
+  g.accums.resize(specs_.size());
+  index_[std::move(key)] = groups_.size();
+  groups_.push_back(std::move(g));
+  return groups_.back();
+}
+
+namespace {
+
+// Combine-style accumulation: `v` is a partial aggregate of `fn` and `n` its
+// companion count (Average only). Shared by AddState and from_state inputs.
+void CombineInto(Aggregator::AccumRef a, AggFn fn, const Value& v, int64_t n) {
+  if (v.is_null()) {
+    return;
+  }
+  switch (fn) {
+    case AggFn::kCount:  // Combiner for Count is Sum (Table 3).
+    case AggFn::kSum:
+      a.value = a.has_value ? ValueAdd(a.value, v) : v;
+      a.has_value = true;
+      break;
+    case AggFn::kMin:
+      if (!a.has_value || v.Compare(a.value) < 0) {
+        a.value = v;
+      }
+      a.has_value = true;
+      break;
+    case AggFn::kMax:
+      if (!a.has_value || v.Compare(a.value) > 0) {
+        a.value = v;
+      }
+      a.has_value = true;
+      break;
+    case AggFn::kAverage:
+      a.value = a.has_value ? ValueAdd(a.value, v) : v;
+      a.count += n;
+      a.has_value = true;
+      break;
+  }
+}
+
+}  // namespace
+
+void Aggregator::AddInput(const Tuple& t) {
+  Group& g = GroupFor(t);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const AggSpec& spec = specs_[i];
+    Accum& a = g.accums[i];
+    if (spec.from_state) {
+      Value n = t.Get(spec.input + "#n");
+      CombineInto(AccumRef{a.has_value, a.value, a.count}, spec.fn, t.Get(spec.input),
+                  n.is_null() ? 0 : n.int_value());
+      continue;
+    }
+    switch (spec.fn) {
+      case AggFn::kCount:
+        a.value = a.has_value ? ValueAdd(a.value, Value(int64_t{1})) : Value(int64_t{1});
+        a.has_value = true;
+        break;
+      case AggFn::kSum: {
+        Value v = t.Get(spec.input);
+        if (v.is_null()) {
+          break;  // Nulls do not contribute to sums.
+        }
+        a.value = a.has_value ? ValueAdd(a.value, v) : v;
+        a.has_value = true;
+        break;
+      }
+      case AggFn::kMin: {
+        Value v = t.Get(spec.input);
+        if (v.is_null()) {
+          break;
+        }
+        if (!a.has_value || v.Compare(a.value) < 0) {
+          a.value = v;
+        }
+        a.has_value = true;
+        break;
+      }
+      case AggFn::kMax: {
+        Value v = t.Get(spec.input);
+        if (v.is_null()) {
+          break;
+        }
+        if (!a.has_value || v.Compare(a.value) > 0) {
+          a.value = v;
+        }
+        a.has_value = true;
+        break;
+      }
+      case AggFn::kAverage: {
+        Value v = t.Get(spec.input);
+        if (v.is_null()) {
+          break;
+        }
+        a.value = a.has_value ? ValueAdd(a.value, v) : v;
+        a.count += 1;
+        a.has_value = true;
+        break;
+      }
+    }
+  }
+}
+
+void Aggregator::AddState(const Tuple& t) {
+  Group& g = GroupFor(t);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const AggSpec& spec = specs_[i];
+    Accum& a = g.accums[i];
+    Value n = t.Get(spec.output + "#n");
+    CombineInto(AccumRef{a.has_value, a.value, a.count}, spec.fn, t.Get(spec.output),
+                n.is_null() ? 0 : n.int_value());
+  }
+}
+
+std::vector<Tuple> Aggregator::StateTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    Tuple t = g.key_tuple;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const AggSpec& spec = specs_[i];
+      const Accum& a = g.accums[i];
+      t.Append(spec.output, a.has_value ? a.value : Value());
+      if (spec.fn == AggFn::kAverage) {
+        t.Append(spec.output + "#n", Value(a.count));
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Tuple> Aggregator::Finalize() const {
+  std::vector<Tuple> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    Tuple t = g.key_tuple;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const AggSpec& spec = specs_[i];
+      const Accum& a = g.accums[i];
+      if (!a.has_value) {
+        // COUNT of an empty group is 0; other aggregates of nothing are null.
+        t.Append(spec.output, spec.fn == AggFn::kCount ? Value(int64_t{0}) : Value());
+        continue;
+      }
+      if (spec.fn == AggFn::kAverage) {
+        t.Append(spec.output,
+                 a.count == 0 ? Value() : Value(a.value.AsDouble() / static_cast<double>(a.count)));
+      } else {
+        t.Append(spec.output, a.value);
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void Aggregator::Clear() {
+  groups_.clear();
+  index_.clear();
+}
+
+}  // namespace pivot

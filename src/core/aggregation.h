@@ -1,0 +1,118 @@
+// Grouped aggregation with combiner support (Tables 1 and 3).
+//
+// Pivot Tracing aggregates in three places with the same machinery:
+//   1. Pack-side pre-aggregation in the baggage (Table 3's pushed-down A/GA);
+//   2. process-local aggregation of emitted tuples in the PT agent (§5);
+//   3. global merging of agent reports in the frontend.
+// Stages 2 and 3 combine *partial* aggregates, so every aggregator carries a
+// combiner ("for Count, the combiner is Sum"): partial state is externalized
+// as plain state tuples which any other Aggregator can absorb with AddState().
+
+#ifndef PIVOT_SRC_CORE_AGGREGATION_H_
+#define PIVOT_SRC_CORE_AGGREGATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/tuple.h"
+#include "src/core/value.h"
+
+namespace pivot {
+
+enum class AggFn : uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kAverage = 4,
+};
+
+// Returns "COUNT", "SUM", ... (the query-language spelling).
+const char* AggFnName(AggFn fn);
+
+// One aggregate column of a query: `fn(input)` emitted as column `output`.
+// Count ignores `input`.
+struct AggSpec {
+  AggFn fn;
+  std::string input;   // Source column (empty for Count).
+  std::string output;  // Result column name, e.g. "SUM(incr.delta)".
+
+  // When true, `input` already holds *partial aggregate state* produced by an
+  // upstream (pushed-down) aggregation, and AddInput combines rather than
+  // accumulates — the `Combine` of Table 3. For Average the companion count is
+  // read from `input + "#n"`.
+  bool from_state = false;
+
+  bool operator==(const AggSpec& other) const {
+    return fn == other.fn && input == other.input && output == other.output &&
+           from_state == other.from_state;
+  }
+
+  // Names of the state columns this aggregate externalizes in a state tuple.
+  // All functions use one column (named `output`) except Average, which keeps
+  // (sum, count) in `output` and `output + "#n"`.
+  std::vector<std::string> StateColumns() const;
+};
+
+// Streaming grouped aggregator. Group keys are the values of `group_fields`;
+// with no group fields there is a single implicit group (plain Aggregate).
+// Output order is group-insertion order, which keeps results deterministic.
+class Aggregator {
+ public:
+  Aggregator(std::vector<std::string> group_fields, std::vector<AggSpec> specs);
+
+  const std::vector<std::string>& group_fields() const { return group_fields_; }
+  const std::vector<AggSpec>& specs() const { return specs_; }
+
+  // Accumulates one raw input tuple.
+  void AddInput(const Tuple& t);
+
+  // Combines one state tuple previously produced by StateTuples() on an
+  // aggregator with the same configuration.
+  void AddState(const Tuple& t);
+
+  // Externalizes partial state: one tuple per group containing the group
+  // fields plus each spec's state columns. Suitable for baggage packing and
+  // agent→frontend reporting.
+  std::vector<Tuple> StateTuples() const;
+
+  // Final results: one tuple per group with group fields + each spec's
+  // `output` column (Average divides here).
+  std::vector<Tuple> Finalize() const;
+
+  void Clear();
+  bool empty() const { return groups_.empty(); }
+  size_t group_count() const { return groups_.size(); }
+
+  // Mutable view of one accumulator, used by the .cc's combine helper.
+  struct AccumRef {
+    bool& has_value;
+    Value& value;
+    int64_t& count;
+  };
+
+ private:
+  struct Accum {
+    bool has_value = false;
+    Value value;       // Count: running count. Sum/Min/Max: value. Average: sum.
+    int64_t count = 0;  // Average only.
+  };
+
+  struct Group {
+    Tuple key_tuple;  // Group fields only, in group_fields_ order.
+    std::vector<Accum> accums;
+  };
+
+  Group& GroupFor(const Tuple& t);
+
+  std::vector<std::string> group_fields_;
+  std::vector<AggSpec> specs_;
+  std::vector<Group> groups_;
+  std::map<std::string, size_t> index_;  // Canonical group key -> groups_ index.
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_CORE_AGGREGATION_H_

@@ -1,0 +1,446 @@
+#include "src/core/baggage.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/wire.h"
+
+namespace pivot {
+
+bool BagSpec::operator==(const BagSpec& other) const {
+  return semantics == other.semantics && limit == other.limit &&
+         group_fields == other.group_fields && aggs == other.aggs;
+}
+
+// ---------------------------------------------------------------------------
+// TupleBag
+
+Aggregator& TupleBag::Agg() {
+  if (!agg_init_) {
+    // Packed tuples are raw inputs; branch/instance merging uses AddState.
+    agg_ = Aggregator(spec_.group_fields, spec_.aggs);
+    agg_init_ = true;
+  }
+  return agg_;
+}
+
+void TupleBag::Add(const Tuple& t) {
+  switch (spec_.semantics) {
+    case PackSemantics::kAll:
+      if (tuples_.size() >= kMaxBagTuples) {
+        ++dropped_;
+        break;
+      }
+      tuples_.push_back(t);
+      break;
+    case PackSemantics::kFirstN:
+      if (tuples_.size() < spec_.limit) {
+        tuples_.push_back(t);
+      }
+      break;
+    case PackSemantics::kRecentN:
+      tuples_.push_back(t);
+      if (tuples_.size() > spec_.limit) {
+        tuples_.erase(tuples_.begin());
+      }
+      break;
+    case PackSemantics::kAggregate:
+      Agg().AddInput(t);
+      break;
+  }
+}
+
+void TupleBag::MergeFrom(const TupleBag& other) {
+  assert(spec_ == other.spec() && "merging bags with different specs");
+  dropped_ += other.dropped_;
+  switch (spec_.semantics) {
+    case PackSemantics::kAll: {
+      size_t room = tuples_.size() < kMaxBagTuples ? kMaxBagTuples - tuples_.size() : 0;
+      size_t take = std::min(room, other.tuples_.size());
+      tuples_.insert(tuples_.end(), other.tuples_.begin(),
+                     other.tuples_.begin() + static_cast<ptrdiff_t>(take));
+      dropped_ += other.tuples_.size() - take;
+      break;
+    }
+    case PackSemantics::kFirstN:
+      // This bag is older: its tuples keep priority.
+      for (const auto& t : other.tuples_) {
+        if (tuples_.size() >= spec_.limit) {
+          break;
+        }
+        tuples_.push_back(t);
+      }
+      break;
+    case PackSemantics::kRecentN:
+      // The other bag is newer: its tuples displace ours.
+      tuples_.insert(tuples_.end(), other.tuples_.begin(), other.tuples_.end());
+      while (tuples_.size() > spec_.limit) {
+        tuples_.erase(tuples_.begin());
+      }
+      break;
+    case PackSemantics::kAggregate:
+      for (const auto& st : other.Contents()) {
+        Agg().AddState(st);
+      }
+      break;
+  }
+}
+
+void TupleBag::AddState(const Tuple& state) {
+  assert(spec_.semantics == PackSemantics::kAggregate);
+  Agg().AddState(state);
+}
+
+std::vector<Tuple> TupleBag::Contents() const {
+  if (spec_.semantics == PackSemantics::kAggregate) {
+    return agg_init_ ? agg_.StateTuples() : std::vector<Tuple>{};
+  }
+  return tuples_;
+}
+
+size_t TupleBag::size() const {
+  if (spec_.semantics == PackSemantics::kAggregate) {
+    return agg_init_ ? agg_.group_count() : 0;
+  }
+  return tuples_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Baggage
+
+bool Baggage::Instance::has_tuples() const {
+  for (const auto& [key, bag] : bags) {
+    if (!bag.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Baggage::Pack(BagKey key, const BagSpec& spec, const Tuple& t) {
+  auto it = active_bags_.find(key);
+  if (it == active_bags_.end()) {
+    it = active_bags_.emplace(key, TupleBag(spec)).first;
+  }
+  it->second.Add(t);
+}
+
+std::vector<Tuple> Baggage::Unpack(BagKey key) const {
+  // Gather the bag from every instance, oldest first, then combine under the
+  // bag's semantics ("tuples are unpacked from each instance then combined
+  // according to query logic", §5).
+  const TupleBag* first = nullptr;
+  std::vector<const TupleBag*> rest;
+  for (const auto& inst : inactive_) {
+    auto it = inst.bags.find(key);
+    if (it != inst.bags.end()) {
+      if (first == nullptr) {
+        first = &it->second;
+      } else {
+        rest.push_back(&it->second);
+      }
+    }
+  }
+  auto it = active_bags_.find(key);
+  if (it != active_bags_.end()) {
+    if (first == nullptr) {
+      first = &it->second;
+    } else {
+      rest.push_back(&it->second);
+    }
+  }
+  if (first == nullptr) {
+    return {};
+  }
+  if (rest.empty()) {
+    return first->Contents();
+  }
+  TupleBag combined = *first;
+  for (const TupleBag* b : rest) {
+    combined.MergeFrom(*b);
+  }
+  return combined.Contents();
+}
+
+std::pair<Baggage, Baggage> Baggage::Split() const {
+  auto [id1, id2] = active_id_.Split();
+
+  // Each side receives a copy of the current contents as an inactive
+  // instance and a fresh empty active instance with its half of the ID.
+  Baggage side1;
+  side1.inactive_ = inactive_;
+  side1.inactive_.push_back(Instance{active_id_, active_gen_, active_bags_});
+  side1.active_id_ = id1;
+  side1.active_gen_ = active_gen_ + 1;
+
+  Baggage side2;
+  side2.inactive_ = inactive_;
+  side2.inactive_.push_back(Instance{active_id_, active_gen_, active_bags_});
+  side2.active_id_ = id2;
+  side2.active_gen_ = active_gen_ + 1;
+
+  return {std::move(side1), std::move(side2)};
+}
+
+Baggage Baggage::Join(const Baggage& a, const Baggage& b) {
+  Baggage out;
+  out.active_id_ = ItcId::Join(a.active_id_, b.active_id_);
+  out.active_gen_ = std::max(a.active_gen_, b.active_gen_) + 1;
+
+  // Merge the two active instances' contents bag-wise.
+  out.active_bags_ = a.active_bags_;
+  for (const auto& [key, bag] : b.active_bags_) {
+    auto it = out.active_bags_.find(key);
+    if (it == out.active_bags_.end()) {
+      out.active_bags_.emplace(key, bag);
+    } else {
+      it->second.MergeFrom(bag);
+    }
+  }
+
+  // Union of inactive instances, deduplicated by identity ("the inactive
+  // instances from each branch are copied, and duplicates are discarded",
+  // §5). Identity is (id, gen) — see the Instance comment.
+  out.inactive_ = a.inactive_;
+  for (const auto& inst : b.inactive_) {
+    bool duplicate = false;
+    for (const auto& existing : out.inactive_) {
+      if (existing.gen == inst.gen && existing.id == inst.id) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      out.inactive_.push_back(inst);
+    }
+  }
+  return out;
+}
+
+uint64_t Baggage::DroppedTupleCount() const {
+  uint64_t n = 0;
+  for (const auto& [key, bag] : active_bags_) {
+    n += bag.dropped();
+  }
+  for (const auto& inst : inactive_) {
+    for (const auto& [key, bag] : inst.bags) {
+      n += bag.dropped();
+    }
+  }
+  return n;
+}
+
+size_t Baggage::TupleCount() const {
+  size_t n = 0;
+  for (const auto& [key, bag] : active_bags_) {
+    n += bag.size();
+  }
+  for (const auto& inst : inactive_) {
+    for (const auto& [key, bag] : inst.bags) {
+      n += bag.size();
+    }
+  }
+  return n;
+}
+
+bool Baggage::IsTrivial() const {
+  if (!inactive_.empty() || active_gen_ != 0 || active_id_ != ItcId::Seed()) {
+    return false;
+  }
+  for (const auto& [key, bag] : active_bags_) {
+    if (!bag.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Baggage::Clear() {
+  active_id_ = ItcId::Seed();
+  active_gen_ = 0;
+  active_bags_.clear();
+  inactive_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+//
+// Layout (all varints unless noted):
+//   [instance count]
+//   per instance (active instance first):
+//     [itc id (canonical bytes)] [bag count]
+//     per bag: [key] [spec] [tuple count] [tuples...]
+//   spec: [semantics u8] [limit] [#groups][names...] [#aggs][fn u8, from_state
+//         u8, input, output]...
+// A pristine baggage serializes to zero bytes.
+
+void PutBagSpec(std::vector<uint8_t>* out, const BagSpec& spec) {
+  out->push_back(static_cast<uint8_t>(spec.semantics));
+  PutVarint64(out, spec.limit);
+  PutVarint64(out, spec.group_fields.size());
+  for (const auto& g : spec.group_fields) {
+    PutString(out, g);
+  }
+  PutVarint64(out, spec.aggs.size());
+  for (const auto& a : spec.aggs) {
+    out->push_back(static_cast<uint8_t>(a.fn));
+    out->push_back(a.from_state ? 1 : 0);
+    PutString(out, a.input);
+    PutString(out, a.output);
+  }
+}
+
+bool GetBagSpec(const uint8_t* data, size_t size, size_t* pos, BagSpec* spec) {
+  if (*pos >= size) {
+    return false;
+  }
+  uint8_t sem = data[(*pos)++];
+  if (sem > static_cast<uint8_t>(PackSemantics::kAggregate)) {
+    return false;
+  }
+  spec->semantics = static_cast<PackSemantics>(sem);
+  uint64_t limit = 0;
+  if (!GetVarint64(data, size, pos, &limit) || limit > UINT32_MAX) {
+    return false;
+  }
+  spec->limit = static_cast<uint32_t>(limit);
+  uint64_t ngroups = 0;
+  if (!GetVarint64(data, size, pos, &ngroups) || ngroups > size) {
+    return false;
+  }
+  spec->group_fields.clear();
+  for (uint64_t i = 0; i < ngroups; ++i) {
+    std::string g;
+    if (!GetString(data, size, pos, &g)) {
+      return false;
+    }
+    spec->group_fields.push_back(std::move(g));
+  }
+  uint64_t naggs = 0;
+  if (!GetVarint64(data, size, pos, &naggs) || naggs > size) {
+    return false;
+  }
+  spec->aggs.clear();
+  for (uint64_t i = 0; i < naggs; ++i) {
+    if (size - *pos < 2) {
+      return false;
+    }
+    AggSpec a;
+    uint8_t fn = data[(*pos)++];
+    if (fn > static_cast<uint8_t>(AggFn::kAverage)) {
+      return false;
+    }
+    a.fn = static_cast<AggFn>(fn);
+    a.from_state = data[(*pos)++] != 0;
+    if (!GetString(data, size, pos, &a.input) || !GetString(data, size, pos, &a.output)) {
+      return false;
+    }
+    spec->aggs.push_back(std::move(a));
+  }
+  return true;
+}
+
+namespace {
+
+void PutBags(std::vector<uint8_t>* out, const std::map<BagKey, TupleBag>& bags) {
+  PutVarint64(out, bags.size());
+  for (const auto& [key, bag] : bags) {
+    PutVarint64(out, key);
+    PutBagSpec(out, bag.spec());
+    std::vector<Tuple> contents = bag.Contents();
+    PutVarint64(out, contents.size());
+    for (const auto& t : contents) {
+      PutTuple(out, t);
+    }
+    PutVarint64(out, bag.dropped());
+  }
+}
+
+bool GetBags(const uint8_t* data, size_t size, size_t* pos, std::map<BagKey, TupleBag>* bags) {
+  uint64_t nbags = 0;
+  if (!GetVarint64(data, size, pos, &nbags) || nbags > size) {
+    return false;
+  }
+  for (uint64_t i = 0; i < nbags; ++i) {
+    uint64_t key = 0;
+    BagSpec spec;
+    if (!GetVarint64(data, size, pos, &key) || !GetBagSpec(data, size, pos, &spec)) {
+      return false;
+    }
+    TupleBag bag(spec);
+    uint64_t ntuples = 0;
+    if (!GetVarint64(data, size, pos, &ntuples) || ntuples > size) {
+      return false;
+    }
+    for (uint64_t j = 0; j < ntuples; ++j) {
+      Tuple t;
+      if (!GetTuple(data, size, pos, &t)) {
+        return false;
+      }
+      if (spec.semantics == PackSemantics::kAggregate) {
+        // Wire contents of aggregate bags are state tuples; absorb them via
+        // the combiner path so re-serialization is lossless.
+        bag.AddState(t);
+      } else {
+        bag.Add(t);
+      }
+    }
+    uint64_t dropped = 0;
+    if (!GetVarint64(data, size, pos, &dropped)) {
+      return false;
+    }
+    bag.RestoreDropped(dropped);
+    bags->emplace(key, std::move(bag));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Baggage::Serialize() const {
+  if (IsTrivial()) {
+    return {};
+  }
+  std::vector<uint8_t> out;
+  PutVarint64(&out, 1 + inactive_.size());
+  PutVarint64(&out, active_gen_);
+  active_id_.Encode(&out);
+  PutBags(&out, active_bags_);
+  for (const auto& inst : inactive_) {
+    PutVarint64(&out, inst.gen);
+    inst.id.Encode(&out);
+    PutBags(&out, inst.bags);
+  }
+  return out;
+}
+
+Result<Baggage> Baggage::Deserialize(const uint8_t* data, size_t size) {
+  Baggage out;
+  if (size == 0) {
+    return out;  // Pristine baggage.
+  }
+  size_t pos = 0;
+  uint64_t ninst = 0;
+  if (!GetVarint64(data, size, &pos, &ninst) || ninst == 0 || ninst > size) {
+    return DataLossError("baggage: bad instance count");
+  }
+  if (!GetVarint64(data, size, &pos, &out.active_gen_) ||
+      !ItcId::Decode(data, size, &pos, &out.active_id_) ||
+      !GetBags(data, size, &pos, &out.active_bags_)) {
+    return DataLossError("baggage: bad active instance");
+  }
+  for (uint64_t i = 1; i < ninst; ++i) {
+    Instance inst;
+    if (!GetVarint64(data, size, &pos, &inst.gen) || !ItcId::Decode(data, size, &pos, &inst.id) ||
+        !GetBags(data, size, &pos, &inst.bags)) {
+      return DataLossError("baggage: bad inactive instance");
+    }
+    out.inactive_.push_back(std::move(inst));
+  }
+  if (pos != size) {
+    return DataLossError("baggage: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace pivot

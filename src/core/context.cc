@@ -1,0 +1,124 @@
+#include "src/core/context.h"
+
+#include <chrono>
+
+namespace pivot {
+
+int64_t ProcessRuntime::NowMicros() const {
+  if (now_micros) {
+    return now_micros();
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ExecutionContext::StartTrace(TraceRecorder* recorder) {
+  recorder_ = recorder;
+  trace_id_ = recorder->NewTrace();
+  current_event_ = recorder->graph(trace_id_)->AddEvent({});
+}
+
+void ExecutionContext::AttachTrace(TraceRecorder* recorder, uint64_t trace_id, EventId current) {
+  recorder_ = recorder;
+  trace_id_ = trace_id;
+  current_event_ = current;
+}
+
+EventId ExecutionContext::AdvanceEvent() {
+  if (recorder_ == nullptr) {
+    return kNoEvent;
+  }
+  current_event_ = recorder_->graph(trace_id_)->AddEvent({current_event_});
+  return current_event_;
+}
+
+ExecutionContext ExecutionContext::Fork() {
+  ExecutionContext other(runtime_);
+  auto [mine, theirs] = baggage_.Split();
+  baggage_ = std::move(mine);
+  other.baggage_ = std::move(theirs);
+  if (recorder_ != nullptr) {
+    // Both branches start from distinct events caused by the branch point.
+    TraceGraph* g = recorder_->graph(trace_id_);
+    EventId branch_point = current_event_;
+    current_event_ = g->AddEvent({branch_point});
+    other.AttachTrace(recorder_, trace_id_, g->AddEvent({branch_point}));
+  }
+  return other;
+}
+
+void ExecutionContext::Join(ExecutionContext&& other) {
+  baggage_ = Baggage::Join(baggage_, other.baggage_);
+  if (recorder_ != nullptr && other.recorder_ == recorder_ && other.trace_id_ == trace_id_) {
+    current_event_ =
+        recorder_->graph(trace_id_)->AddEvent({current_event_, other.current_event_});
+  }
+  other.baggage_.Clear();
+}
+
+namespace {
+
+thread_local ExecutionContext* g_current_context = nullptr;
+
+}  // namespace
+
+ExecutionContext* CurrentContext() { return g_current_context; }
+
+ScopedContext::ScopedContext(ExecutionContext* ctx) : previous_(g_current_context) {
+  g_current_context = ctx;
+}
+
+ScopedContext::~ScopedContext() { g_current_context = previous_; }
+
+void ThreadBaggage::Pack(BagKey key, const BagSpec& spec, const Tuple& t) {
+  if (ExecutionContext* ctx = CurrentContext()) {
+    ctx->baggage().Pack(key, spec, t);
+  }
+}
+
+std::vector<Tuple> ThreadBaggage::Unpack(BagKey key) {
+  if (ExecutionContext* ctx = CurrentContext()) {
+    return ctx->baggage().Unpack(key);
+  }
+  return {};
+}
+
+std::vector<uint8_t> ThreadBaggage::Serialize() {
+  if (ExecutionContext* ctx = CurrentContext()) {
+    return ctx->baggage().Serialize();
+  }
+  return {};
+}
+
+void ThreadBaggage::Deserialize(const std::vector<uint8_t>& bytes) {
+  if (ExecutionContext* ctx = CurrentContext()) {
+    Result<Baggage> b = Baggage::Deserialize(bytes);
+    if (b.ok()) {
+      ctx->set_baggage(std::move(b).value());
+    }
+  }
+}
+
+std::vector<uint8_t> ThreadBaggage::Split() {
+  ExecutionContext* ctx = CurrentContext();
+  if (ctx == nullptr) {
+    return {};
+  }
+  auto [mine, theirs] = ctx->baggage().Split();
+  ctx->set_baggage(std::move(mine));
+  return theirs.Serialize();
+}
+
+void ThreadBaggage::Join(const std::vector<uint8_t>& branch_bytes) {
+  ExecutionContext* ctx = CurrentContext();
+  if (ctx == nullptr) {
+    return;
+  }
+  Result<Baggage> branch = Baggage::Deserialize(branch_bytes);
+  if (branch.ok()) {
+    ctx->set_baggage(Baggage::Join(ctx->baggage(), *branch));
+  }
+}
+
+}  // namespace pivot

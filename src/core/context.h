@@ -1,0 +1,156 @@
+// ExecutionContext: the per-request state that travels with an execution.
+//
+// The paper's prototype stores baggage in a JVM thread-local and relies on
+// AspectJ-instrumented Thread/Runnable/Queue classes to carry it across
+// execution boundaries (§5, §6 "Hadoop Instrumentation"). Here the same role
+// is played by ExecutionContext: it owns the request's Baggage, identifies
+// the process the request is currently executing in, provides the timestamp
+// source, and (optionally) records the happened-before DAG for ground-truth
+// evaluation.
+//
+// Two propagation styles are supported:
+//  * explicit: the simulator hands contexts from task to task and across
+//    simulated RPCs (serializing the baggage on the wire);
+//  * thread-local: real multi-threaded applications install a context with
+//    ScopedContext and fork/join it across std::thread boundaries, mirroring
+//    Table 4's static API.
+
+#ifndef PIVOT_SRC_CORE_CONTEXT_H_
+#define PIVOT_SRC_CORE_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/baggage.h"
+#include "src/core/trace_graph.h"
+
+namespace pivot {
+
+// Sink for tuples emitted by advice (the process-local PT agent implements
+// this; §5 "Tuples emitted by advice are accumulated by the local agent").
+class EmitSink {
+ public:
+  virtual ~EmitSink() = default;
+  virtual void EmitTuple(uint64_t query_id, const Tuple& t) = 0;
+};
+
+// Identity of the process an execution is currently running in. These back
+// the default tracepoint exports: host, procname, procid (§3).
+struct ProcessInfo {
+  std::string host;
+  std::string process_name;
+  int64_t process_id = 0;
+};
+
+// Per-process runtime wiring shared by all requests executing in the process.
+// Lifetime: outlives every ExecutionContext that points at it.
+struct ProcessRuntime {
+  ProcessInfo info;
+  // Timestamp source in microseconds; defaults to the wall clock, the
+  // simulator installs simulated time.
+  std::function<int64_t()> now_micros;
+  // Destination for Emit ops; null drops emitted tuples (tracepoints woven
+  // with no agent attached).
+  EmitSink* sink = nullptr;
+
+  int64_t NowMicros() const;
+};
+
+// The per-request execution context. Move-only: there is exactly one context
+// per branch of an execution; branching and rejoining go through Fork/Join so
+// that baggage versioning stays correct.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  explicit ExecutionContext(ProcessRuntime* runtime) : runtime_(runtime) {}
+
+  ExecutionContext(ExecutionContext&&) = default;
+  ExecutionContext& operator=(ExecutionContext&&) = default;
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  ProcessRuntime* runtime() const { return runtime_; }
+  void set_runtime(ProcessRuntime* runtime) { runtime_ = runtime; }
+
+  Baggage& baggage() { return baggage_; }
+  const Baggage& baggage() const { return baggage_; }
+  void set_baggage(Baggage b) { baggage_ = std::move(b); }
+
+  // ---- Ground-truth trace recording (optional; see trace_graph.h) ----
+
+  // Attaches this context to a recorder, starting a fresh trace.
+  void StartTrace(TraceRecorder* recorder);
+  // Attaches to an existing trace (e.g. server side of an RPC).
+  void AttachTrace(TraceRecorder* recorder, uint64_t trace_id, EventId current);
+
+  TraceRecorder* recorder() const { return recorder_; }
+  uint64_t trace_id() const { return trace_id_; }
+  EventId current_event() const { return current_event_; }
+
+  // Appends an event caused by the current one and advances; no-op without a
+  // recorder. Tracepoint::Invoke calls this once per invocation.
+  EventId AdvanceEvent();
+
+  // ---- Branching ----
+
+  // Forks this context for a branching execution: baggage splits (§5), and if
+  // recording, both sides get fresh events with the current event as parent.
+  // `this` becomes one branch; the returned context is the other.
+  ExecutionContext Fork();
+
+  // Merges a completed branch back into this one: baggage joins, and if
+  // recording, a join event with both branches as parents is appended.
+  void Join(ExecutionContext&& other);
+
+ private:
+  ProcessRuntime* runtime_ = nullptr;
+  Baggage baggage_;
+  TraceRecorder* recorder_ = nullptr;
+  uint64_t trace_id_ = 0;
+  EventId current_event_ = kNoEvent;
+};
+
+// ---- Thread-local current context (the paper's thread-local baggage) ----
+
+// Returns the context installed on this thread, or nullptr.
+ExecutionContext* CurrentContext();
+
+// RAII installation of a context on the current thread. Non-owning: the
+// context must outlive the scope. Nests; restores the previous context.
+class ScopedContext {
+ public:
+  explicit ScopedContext(ExecutionContext* ctx);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  ExecutionContext* previous_;
+};
+
+// Static baggage API over the current thread's context, mirroring Table 4:
+// pack / unpack / serialize / deserialize / split / join. All methods are
+// no-ops / return empty when no context is installed.
+struct ThreadBaggage {
+  static void Pack(BagKey key, const BagSpec& spec, const Tuple& t);
+  static std::vector<Tuple> Unpack(BagKey key);
+  static std::vector<uint8_t> Serialize();
+  static void Deserialize(const std::vector<uint8_t>& bytes);
+
+  // Table 4's split(): divides the current baggage for a branching execution.
+  // The calling thread keeps one half; the returned bytes are the other
+  // half, ready to hand to the branch (deserialize there).
+  static std::vector<uint8_t> Split();
+
+  // Table 4's join(b1, b2): merges a completed branch's serialized baggage
+  // back into the current thread's half.
+  static void Join(const std::vector<uint8_t>& branch_bytes);
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_CORE_CONTEXT_H_

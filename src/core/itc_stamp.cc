@@ -1,0 +1,328 @@
+#include "src/core/itc_stamp.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/varint.h"
+
+namespace pivot {
+
+// Leaf: left == right == nullptr, counter n. Node: both children set, base
+// counter n (children encode additional counts relative to n). Trees are
+// normalized: an interior node's children are never both the same leaf, and
+// min(left, right) == 0.
+struct ItcEvent::Node {
+  uint64_t n = 0;
+  NodePtr left;
+  NodePtr right;
+
+  bool is_leaf() const { return left == nullptr; }
+};
+
+namespace {
+
+using Node = ItcEvent::Node;
+using NodePtr = ItcEvent::NodePtr;
+
+NodePtr MakeLeaf(uint64_t n) {
+  auto node = std::make_shared<Node>();
+  node->n = n;
+  return node;
+}
+
+// Adds m to the root counter.
+NodePtr Lift(const NodePtr& e, uint64_t m) {
+  if (m == 0) {
+    return e;
+  }
+  auto node = std::make_shared<Node>(*e);
+  node->n += m;
+  return node;
+}
+
+// Subtracts m from the root counter (requires n >= m).
+NodePtr Sink(const NodePtr& e, uint64_t m) {
+  if (m == 0) {
+    return e;
+  }
+  assert(e->n >= m);
+  auto node = std::make_shared<Node>(*e);
+  node->n -= m;
+  return node;
+}
+
+uint64_t MinOf(const NodePtr& e) {
+  if (e->is_leaf()) {
+    return e->n;
+  }
+  return e->n + std::min(MinOf(e->left), MinOf(e->right));
+}
+
+uint64_t MaxOf(const NodePtr& e) {
+  if (e->is_leaf()) {
+    return e->n;
+  }
+  return e->n + std::max(MaxOf(e->left), MaxOf(e->right));
+}
+
+// norm: collapse equal leaf children, lift the common minimum into the base.
+NodePtr Norm(uint64_t n, NodePtr l, NodePtr r) {
+  if (l->is_leaf() && r->is_leaf() && l->n == r->n) {
+    return MakeLeaf(n + l->n);
+  }
+  uint64_t m = std::min(MinOf(l), MinOf(r));
+  auto node = std::make_shared<Node>();
+  node->n = n + m;
+  node->left = Sink(l, m);
+  node->right = Sink(r, m);
+  return node;
+}
+
+bool LeqNodes(const NodePtr& a, const NodePtr& b) {
+  if (a->is_leaf()) {
+    // Pointwise: leaf n1 <= e2 everywhere iff n1 <= min(e2).
+    return a->n <= MinOf(b);
+  }
+  if (b->is_leaf()) {
+    return MaxOf(a) <= b->n;
+  }
+  // Compare the base plus each half, lifting the bases into the children.
+  return a->n <= b->n && LeqNodes(Lift(a->left, a->n), Lift(b->left, b->n)) &&
+         LeqNodes(Lift(a->right, a->n), Lift(b->right, b->n));
+}
+
+NodePtr JoinNodes(const NodePtr& a, const NodePtr& b) {
+  if (a->is_leaf() && b->is_leaf()) {
+    return MakeLeaf(std::max(a->n, b->n));
+  }
+  if (a->is_leaf()) {
+    auto expanded = std::make_shared<Node>();
+    expanded->n = a->n;
+    expanded->left = MakeLeaf(0);
+    expanded->right = MakeLeaf(0);
+    return JoinNodes(expanded, b);
+  }
+  if (b->is_leaf()) {
+    auto expanded = std::make_shared<Node>();
+    expanded->n = b->n;
+    expanded->left = MakeLeaf(0);
+    expanded->right = MakeLeaf(0);
+    return JoinNodes(a, expanded);
+  }
+  if (a->n > b->n) {
+    return JoinNodes(b, a);
+  }
+  uint64_t d = b->n - a->n;
+  return Norm(a->n, JoinNodes(a->left, Lift(b->left, d)),
+              JoinNodes(a->right, Lift(b->right, d)));
+}
+
+// ---- fill / grow (the `event` operation) ----
+
+NodePtr Fill(const ItcId& id, const NodePtr& e) {
+  if (id.IsZero()) {
+    return e;
+  }
+  if (id.IsOne()) {
+    return MakeLeaf(MaxOf(e));
+  }
+  if (e->is_leaf()) {
+    return e;
+  }
+  ItcId il = id.Left();
+  ItcId ir = id.Right();
+  if (il.IsOne()) {
+    NodePtr er = Fill(ir, e->right);
+    NodePtr el = MakeLeaf(std::max(MaxOf(e->left), MinOf(er)));
+    return Norm(e->n, std::move(el), std::move(er));
+  }
+  if (ir.IsOne()) {
+    NodePtr el = Fill(il, e->left);
+    NodePtr er = MakeLeaf(std::max(MaxOf(e->right), MinOf(el)));
+    return Norm(e->n, std::move(el), std::move(er));
+  }
+  return Norm(e->n, Fill(il, e->left), Fill(ir, e->right));
+}
+
+// Cost constant making leaf expansion always more expensive than filling any
+// realistic existing structure (the paper's "large constant").
+constexpr uint64_t kExpandCost = 1000;
+
+std::pair<NodePtr, uint64_t> Grow(const ItcId& id, const NodePtr& e) {
+  if (e->is_leaf()) {
+    if (id.IsOne()) {
+      return {MakeLeaf(e->n + 1), 0};
+    }
+    auto expanded = std::make_shared<Node>();
+    expanded->n = e->n;
+    expanded->left = MakeLeaf(0);
+    expanded->right = MakeLeaf(0);
+    auto [grown, cost] = Grow(id, expanded);
+    return {std::move(grown), cost + kExpandCost};
+  }
+  // Non-leaf event. The id cannot be zero (callers only grow where they own
+  // interval); an id of one over a node event is handled by Fill first, but
+  // tolerate it by growing the left half.
+  ItcId il = id.IsLeaf() ? ItcId::Seed() : id.Left();
+  ItcId ir = id.IsLeaf() ? ItcId::Seed() : id.Right();
+  if (il.IsZero()) {
+    auto [er, cost] = Grow(ir, e->right);
+    return {Norm(e->n, e->left, std::move(er)), cost + 1};
+  }
+  if (ir.IsZero()) {
+    auto [el, cost] = Grow(il, e->left);
+    return {Norm(e->n, std::move(el), e->right), cost + 1};
+  }
+  auto [el, cl] = Grow(il, e->left);
+  auto [er, cr] = Grow(ir, e->right);
+  if (cl <= cr) {
+    return {Norm(e->n, std::move(el), e->right), cl + 1};
+  }
+  return {Norm(e->n, e->left, std::move(er)), cr + 1};
+}
+
+std::string NodeToString(const NodePtr& e) {
+  if (e->is_leaf()) {
+    return std::to_string(e->n);
+  }
+  return "(" + std::to_string(e->n) + ", " + NodeToString(e->left) + ", " +
+         NodeToString(e->right) + ")";
+}
+
+void EncodeNode(const NodePtr& e, std::vector<uint8_t>* out) {
+  if (e->is_leaf()) {
+    out->push_back(0x00);
+    PutVarint64(out, e->n);
+    return;
+  }
+  out->push_back(0x01);
+  PutVarint64(out, e->n);
+  EncodeNode(e->left, out);
+  EncodeNode(e->right, out);
+}
+
+bool DecodeNode(const uint8_t* data, size_t size, size_t* pos, NodePtr* out, int depth) {
+  constexpr int kMaxDepth = 512;
+  if (depth > kMaxDepth || *pos >= size) {
+    return false;
+  }
+  uint8_t tag = data[(*pos)++];
+  uint64_t n = 0;
+  if (!GetVarint64(data, size, pos, &n)) {
+    return false;
+  }
+  if (tag == 0x00) {
+    *out = MakeLeaf(n);
+    return true;
+  }
+  if (tag != 0x01) {
+    return false;
+  }
+  NodePtr l;
+  NodePtr r;
+  if (!DecodeNode(data, size, pos, &l, depth + 1) ||
+      !DecodeNode(data, size, pos, &r, depth + 1)) {
+    return false;
+  }
+  *out = Norm(n, std::move(l), std::move(r));
+  return true;
+}
+
+bool NodesEqual(const NodePtr& a, const NodePtr& b) {
+  if (a.get() == b.get()) {
+    return true;
+  }
+  if (a->is_leaf() != b->is_leaf() || a->n != b->n) {
+    return false;
+  }
+  if (a->is_leaf()) {
+    return true;
+  }
+  return NodesEqual(a->left, b->left) && NodesEqual(a->right, b->right);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ItcEvent
+
+ItcEvent::ItcEvent() : root_(MakeLeaf(0)) {}
+
+ItcEvent ItcEvent::Leaf(uint64_t n) { return ItcEvent(MakeLeaf(n)); }
+
+bool ItcEvent::IsZero() const { return root_->is_leaf() && root_->n == 0; }
+
+bool ItcEvent::Leq(const ItcEvent& a, const ItcEvent& b) { return LeqNodes(a.root_, b.root_); }
+
+ItcEvent ItcEvent::Join(const ItcEvent& a, const ItcEvent& b) {
+  return ItcEvent(JoinNodes(a.root_, b.root_));
+}
+
+bool ItcEvent::operator==(const ItcEvent& other) const {
+  return NodesEqual(root_, other.root_);
+}
+
+std::string ItcEvent::ToString() const { return NodeToString(root_); }
+
+void ItcEvent::Encode(std::vector<uint8_t>* out) const { EncodeNode(root_, out); }
+
+bool ItcEvent::Decode(const uint8_t* data, size_t size, size_t* pos, ItcEvent* out) {
+  NodePtr root;
+  if (!DecodeNode(data, size, pos, &root, 0)) {
+    return false;
+  }
+  *out = ItcEvent(std::move(root));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ItcStamp
+
+ItcStamp ItcStamp::Seed() { return ItcStamp(ItcId::Seed(), ItcEvent()); }
+
+std::pair<ItcStamp, ItcStamp> ItcStamp::Fork() const {
+  auto [i1, i2] = id_.Split();
+  return {ItcStamp(i1, event_), ItcStamp(i2, event_)};
+}
+
+ItcStamp ItcStamp::Event() const {
+  assert(!id_.IsZero() && "anonymous stamps cannot record events");
+  NodePtr filled = Fill(id_, event_.root());
+  if (!NodesEqual(filled, event_.root())) {
+    return ItcStamp(id_, ItcEvent(std::move(filled)));
+  }
+  auto [grown, cost] = Grow(id_, event_.root());
+  (void)cost;
+  return ItcStamp(id_, ItcEvent(std::move(grown)));
+}
+
+ItcStamp ItcStamp::Join(const ItcStamp& a, const ItcStamp& b) {
+  return ItcStamp(ItcId::Join(a.id_, b.id_), ItcEvent::Join(a.event_, b.event_));
+}
+
+ItcStamp ItcStamp::Peek() const { return ItcStamp(ItcId(), event_); }
+
+bool ItcStamp::Leq(const ItcStamp& a, const ItcStamp& b) {
+  return ItcEvent::Leq(a.event_, b.event_);
+}
+
+std::string ItcStamp::ToString() const {
+  return "(" + id_.ToString() + "; " + event_.ToString() + ")";
+}
+
+void ItcStamp::Encode(std::vector<uint8_t>* out) const {
+  id_.Encode(out);
+  event_.Encode(out);
+}
+
+bool ItcStamp::Decode(const uint8_t* data, size_t size, size_t* pos, ItcStamp* out) {
+  ItcId id;
+  ItcEvent event;
+  if (!ItcId::Decode(data, size, pos, &id) || !ItcEvent::Decode(data, size, pos, &event)) {
+    return false;
+  }
+  *out = ItcStamp(std::move(id), std::move(event));
+  return true;
+}
+
+}  // namespace pivot

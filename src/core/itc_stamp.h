@@ -1,0 +1,104 @@
+// Full interval tree clocks (Almeida, Baquero, Fonte — OPODIS 2008): stamps
+// combining the ID component (itc.h) with the event component, supporting the
+// complete fork-event-join model.
+//
+// Pivot Tracing's baggage only needs the ID half (instance versioning, §5);
+// the full clock is provided as substrate completeness — it is the paper's
+// cited mechanism [29] and is what a causality-checking deployment would use
+// to compare arbitrary baggage snapshots. Property-tested against an exact
+// causal-history oracle in tests/itc_stamp_test.cc.
+
+#ifndef PIVOT_SRC_CORE_ITC_STAMP_H_
+#define PIVOT_SRC_CORE_ITC_STAMP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/itc.h"
+
+namespace pivot {
+
+// The event component: a tree of non-negative counters over the unit
+// interval. Leaf(n), or Node(n, l, r) meaning "n everywhere, plus l/r in the
+// halves". Kept in normal form (children lifted so min(l, r) == 0).
+class ItcEvent {
+ public:
+  ItcEvent();  // Leaf(0).
+  static ItcEvent Leaf(uint64_t n);
+
+  bool IsZero() const;
+
+  // Partial order: true iff this event tree is pointwise <= other.
+  static bool Leq(const ItcEvent& a, const ItcEvent& b);
+
+  // Pointwise maximum (used by join).
+  static ItcEvent Join(const ItcEvent& a, const ItcEvent& b);
+
+  bool operator==(const ItcEvent& other) const;
+  bool operator!=(const ItcEvent& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+  void Encode(std::vector<uint8_t>* out) const;
+  static bool Decode(const uint8_t* data, size_t size, size_t* pos, ItcEvent* out);
+
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+  explicit ItcEvent(NodePtr root) : root_(std::move(root)) {}
+  const NodePtr& root() const { return root_; }
+
+ private:
+  NodePtr root_;
+};
+
+// A stamp (id, event). Value type with structural sharing.
+class ItcStamp {
+ public:
+  // The seed stamp (1, 0): full ownership, no events.
+  static ItcStamp Seed();
+
+  const ItcId& id() const { return id_; }
+  const ItcEvent& event() const { return event_; }
+
+  // fork: splits the ID; both stamps keep the event component.
+  std::pair<ItcStamp, ItcStamp> Fork() const;
+
+  // event: inflates the event component somewhere this stamp's ID owns.
+  // Requires a non-anonymous stamp (non-zero ID).
+  ItcStamp Event() const;
+
+  // join: merges IDs and takes the pointwise event maximum.
+  static ItcStamp Join(const ItcStamp& a, const ItcStamp& b);
+
+  // peek: an anonymous stamp (0, e) carrying only causal knowledge — what a
+  // message would piggyback.
+  ItcStamp Peek() const;
+
+  // Causality: a ≤ b iff a's event component is pointwise <= b's.
+  static bool Leq(const ItcStamp& a, const ItcStamp& b);
+  // Strict happened-before: a ≤ b and not b ≤ a.
+  static bool HappenedBefore(const ItcStamp& a, const ItcStamp& b) {
+    return Leq(a, b) && !Leq(b, a);
+  }
+  static bool Concurrent(const ItcStamp& a, const ItcStamp& b) {
+    return !Leq(a, b) && !Leq(b, a);
+  }
+
+  std::string ToString() const;
+
+  void Encode(std::vector<uint8_t>* out) const;
+  static bool Decode(const uint8_t* data, size_t size, size_t* pos, ItcStamp* out);
+
+  ItcStamp(ItcId id, ItcEvent event) : id_(std::move(id)), event_(std::move(event)) {}
+
+ private:
+  ItcId id_;
+  ItcEvent event_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_CORE_ITC_STAMP_H_

@@ -1,0 +1,57 @@
+#include "src/core/trace_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pivot {
+
+EventId TraceGraph::AddEvent(std::vector<EventId> parents) {
+  parents.erase(std::remove(parents.begin(), parents.end(), kNoEvent), parents.end());
+#ifndef NDEBUG
+  for (EventId p : parents) {
+    assert(p < parents_.size() && "parent must already exist");
+  }
+#endif
+  parents_.push_back(std::move(parents));
+  return static_cast<EventId>(parents_.size() - 1);
+}
+
+bool TraceGraph::HappenedBefore(EventId a, EventId b) const {
+  if (a >= parents_.size() || b >= parents_.size() || a == b) {
+    return false;
+  }
+  // Ids are topologically ordered, so an ancestor always has a smaller id;
+  // walk b's ancestry backwards, pruning ids below a.
+  if (a > b) {
+    return false;
+  }
+  std::vector<EventId> stack = parents_[b];
+  std::vector<bool> seen(b, false);
+  while (!stack.empty()) {
+    EventId e = stack.back();
+    stack.pop_back();
+    if (e == a) {
+      return true;
+    }
+    if (e < a || seen[e]) {
+      continue;
+    }
+    seen[e] = true;
+    for (EventId p : parents_[e]) {
+      stack.push_back(p);
+    }
+  }
+  return false;
+}
+
+uint64_t TraceRecorder::NewTrace() {
+  graphs_.emplace_back();
+  return graphs_.size() - 1;
+}
+
+void TraceRecorder::Clear() {
+  graphs_.clear();
+  observed_.clear();
+}
+
+}  // namespace pivot

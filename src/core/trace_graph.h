@@ -1,0 +1,77 @@
+// TraceGraph: records the happened-before DAG of one request's execution.
+//
+// This is *not* part of Pivot Tracing's fast path — baggage makes runtime
+// queries independent of any recorded graph. The graph exists as ground truth:
+// the naive global evaluation strategy (Fig 6a) computes `->⋈` by reachability
+// over this DAG, and the property-based test suite checks the two strategies
+// agree. It also powers the tuple-traffic ablation bench.
+
+#ifndef PIVOT_SRC_CORE_TRACE_GRAPH_H_
+#define PIVOT_SRC_CORE_TRACE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/tuple.h"
+
+namespace pivot {
+
+using EventId = uint32_t;
+inline constexpr EventId kNoEvent = 0xFFFFFFFF;
+
+// The happened-before DAG of a single request. Events are appended in
+// topological order (parents always precede children), which the recording
+// discipline guarantees: an event's parents are the current events of the
+// branches being extended or joined.
+class TraceGraph {
+ public:
+  // Adds an event with the given parents (kNoEvent entries are ignored) and
+  // returns its id. Sequence order doubles as a topological order.
+  EventId AddEvent(std::vector<EventId> parents);
+
+  // Strict happened-before: true iff `a` is a proper ancestor of `b`.
+  bool HappenedBefore(EventId a, EventId b) const;
+
+  size_t size() const { return parents_.size(); }
+  const std::vector<EventId>& parents(EventId e) const { return parents_[e]; }
+
+ private:
+  std::vector<std::vector<EventId>> parents_;
+};
+
+// One observed tuple: which tracepoint fired, in which trace, at which event,
+// with which exported values (unqualified field names). Recorded only when a
+// TraceRecorder is attached to the execution context.
+struct ObservedEvent {
+  uint64_t trace_id = 0;
+  EventId event = kNoEvent;
+  std::string tracepoint;
+  Tuple exports;
+};
+
+// Collects observed events and owns the per-request graphs. Single-threaded
+// (the simulator) by design; concurrent real-thread use would wrap this in a
+// mutex, which the fast path never touches.
+class TraceRecorder {
+ public:
+  // Starts a new request trace; returns its id.
+  uint64_t NewTrace();
+
+  TraceGraph* graph(uint64_t trace_id) { return &graphs_[trace_id]; }
+  const TraceGraph& graph(uint64_t trace_id) const { return graphs_[trace_id]; }
+  size_t trace_count() const { return graphs_.size(); }
+
+  void Record(ObservedEvent ev) { observed_.push_back(std::move(ev)); }
+  const std::vector<ObservedEvent>& observed() const { return observed_; }
+
+  void Clear();
+
+ private:
+  std::vector<TraceGraph> graphs_;
+  std::vector<ObservedEvent> observed_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_CORE_TRACE_GRAPH_H_

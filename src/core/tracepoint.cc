@@ -1,0 +1,154 @@
+#include "src/core/tracepoint.h"
+
+#include <algorithm>
+
+namespace pivot {
+
+void Tracepoint::InvokeSlow(ExecutionContext* ctx, const AdviceSet* set,
+                            std::vector<Tuple::Field> exports) const {
+  // Default exports (§3): host, timestamp, process id, process name, and the
+  // tracepoint definition. "time" aliases "timestamp" — §6.2 queries use the
+  // built-in `time` variable.
+  int64_t now = 0;
+  if (ctx != nullptr && ctx->runtime() != nullptr) {
+    const ProcessRuntime& rt = *ctx->runtime();
+    now = rt.NowMicros();
+    exports.push_back({"host", Value(rt.info.host)});
+    exports.push_back({"procname", Value(rt.info.process_name)});
+    exports.push_back({"procid", Value(rt.info.process_id)});
+  }
+  exports.push_back({"timestamp", Value(now)});
+  exports.push_back({"time", Value(now)});
+  exports.push_back({"tracepoint", Value(def_.name)});
+  Tuple tuple(std::move(exports));
+
+  if (ctx != nullptr && ctx->recorder() != nullptr) {
+    EventId ev = ctx->AdvanceEvent();
+    ctx->recorder()->Record(ObservedEvent{ctx->trace_id(), ev, def_.name, tuple});
+  }
+
+  if (set != nullptr) {
+    for (const auto& [query_id, advice] : set->advice) {
+      advice->Execute(ctx, tuple);
+    }
+  }
+}
+
+TracepointRegistry::~TracepointRegistry() = default;
+
+Result<Tracepoint*> TracepointRegistry::Define(TracepointDef def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tracepoints_.find(def.name);
+  if (it != tracepoints_.end()) {
+    return AlreadyExistsError("tracepoint already defined: " + def.name);
+  }
+  auto tp = std::make_unique<Tracepoint>(std::move(def));
+  Tracepoint* raw = tp.get();
+  tracepoints_.emplace(raw->name(), std::move(tp));
+  // Deferred weaving: advice targeting this name may already be registered
+  // (a standing query installed before this subsystem initialized).
+  RebuildLocked(raw);
+  return raw;
+}
+
+Tracepoint* TracepointRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tracepoints_.find(name);
+  return it == tracepoints_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TracepointRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tracepoints_.size());
+  for (const auto& [name, tp] : tracepoints_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status TracepointRegistry::WeaveQuery(
+    uint64_t query_id, const std::vector<std::pair<std::string, Advice::Ptr>>& advice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (woven_.count(query_id) != 0) {
+    return AlreadyExistsError("query already woven: " + std::to_string(query_id));
+  }
+  // Validate everything before changing anything.
+  for (const auto& [tp_name, adv] : advice) {
+    if (adv == nullptr) {
+      return InvalidArgumentError("null advice for tracepoint: " + tp_name);
+    }
+  }
+  // Advice naming tracepoints this registry does not (yet) define is kept and
+  // weaves when/if the tracepoint is defined later (deferred weaving): in a
+  // distributed system every process receives the full weave command but
+  // hosts only a subset of its tracepoints, and subsystems may initialize
+  // after standing queries were installed. Compile-time validation against
+  // the schema registry catches genuinely unknown names.
+  woven_[query_id] = advice;
+  for (const auto& [tp_name, adv] : advice) {
+    auto it = tracepoints_.find(tp_name);
+    if (it != tracepoints_.end()) {
+      RebuildLocked(it->second.get());
+    }
+  }
+  return Status::Ok();
+}
+
+void TracepointRegistry::UnweaveQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = woven_.find(query_id);
+  if (it == woven_.end()) {
+    return;
+  }
+  std::vector<std::string> affected;
+  for (const auto& [tp_name, adv] : it->second) {
+    affected.push_back(tp_name);
+  }
+  woven_.erase(it);
+  for (const auto& tp_name : affected) {
+    auto tp_it = tracepoints_.find(tp_name);
+    if (tp_it != tracepoints_.end()) {
+      RebuildLocked(tp_it->second.get());
+    }
+  }
+}
+
+std::vector<uint64_t> TracepointRegistry::WovenQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(woven_.size());
+  for (const auto& [id, advice] : woven_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void TracepointRegistry::RebuildLocked(Tracepoint* tp) {
+  auto set = std::make_unique<AdviceSet>();
+  for (const auto& [query_id, advice_list] : woven_) {
+    for (const auto& [tp_name, adv] : advice_list) {
+      if (tp_name == tp->name()) {
+        set->advice.emplace_back(query_id, adv);
+      }
+    }
+  }
+  const AdviceSet* next = set->advice.empty() ? nullptr : set.get();
+  const AdviceSet* prev = tp->advice_.exchange(next, std::memory_order_acq_rel);
+  if (next != nullptr) {
+    live_.push_back(std::move(set));
+  }
+  // Move the displaced set to the graveyard: in-flight invocations may still
+  // be reading it (see class comment on the quiescence shortcut).
+  if (prev != nullptr) {
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (it->get() == prev) {
+        retired_.push_back(std::move(*it));
+        live_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pivot

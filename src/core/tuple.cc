@@ -1,0 +1,72 @@
+#include "src/core/tuple.h"
+
+namespace pivot {
+
+void Tuple::Set(std::string_view name, Value value) {
+  for (auto& f : fields_) {
+    if (f.name == name) {
+      f.value = std::move(value);
+      return;
+    }
+  }
+  fields_.push_back(Field{std::string(name), std::move(value)});
+}
+
+Value Tuple::Get(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) {
+      return f.value;
+    }
+  }
+  return Value();
+}
+
+bool Tuple::Has(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  Tuple out = *this;
+  out.fields_.reserve(fields_.size() + other.fields_.size());
+  for (const auto& f : other.fields_) {
+    out.fields_.push_back(f);
+  }
+  return out;
+}
+
+Tuple Tuple::Project(const std::vector<std::string>& names) const {
+  Tuple out;
+  for (const auto& n : names) {
+    out.Append(n, Get(n));
+  }
+  return out;
+}
+
+uint64_t Tuple::HashFields(const std::vector<std::string>& names) const {
+  uint64_t h = 0x84222325CBF29CE4ULL;
+  for (const auto& n : names) {
+    h = h * 0x100000001B3ULL + Get(n).Hash();
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += fields_[i].name;
+    out += "=";
+    out += fields_[i].value.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pivot

@@ -1,0 +1,76 @@
+// Tuple: a row of the streaming distributed dataset (§3).
+//
+// Tracepoint invocations produce tuples of named Values; happened-before joins
+// concatenate tuples from causally-earlier advice. Field names are qualified
+// by query alias ("incr.delta", "cl.procName") so joined tuples keep unambiguous
+// column names, exactly like the paper's query examples.
+
+#ifndef PIVOT_SRC_CORE_TUPLE_H_
+#define PIVOT_SRC_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/value.h"
+
+namespace pivot {
+
+class Tuple {
+ public:
+  struct Field {
+    std::string name;
+    Value value;
+
+    bool operator==(const Field& other) const {
+      return name == other.name && value == other.value;
+    }
+  };
+
+  Tuple() = default;
+  Tuple(std::initializer_list<Field> fields) : fields_(fields) {}
+  explicit Tuple(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Appends a field. Does not check for duplicates; Set() replaces instead.
+  void Append(std::string name, Value value) {
+    fields_.push_back(Field{std::move(name), std::move(value)});
+  }
+
+  // Replaces the named field, or appends it if absent.
+  void Set(std::string_view name, Value value);
+
+  // Returns the named field's value, or null if absent.
+  Value Get(std::string_view name) const;
+  bool Has(std::string_view name) const;
+
+  // Concatenation `t1 · t2`, the joined-tuple construction of §3: fields of
+  // `this` followed by fields of `other`.
+  Tuple Concat(const Tuple& other) const;
+
+  // Projection Π: restricts to `names`, preserving the given order. Missing
+  // fields project to null (the analyzer rejects unknown fields up front).
+  Tuple Project(const std::vector<std::string>& names) const;
+
+  // Key for group-by: hash + equality over the values of `names` in order.
+  uint64_t HashFields(const std::vector<std::string>& names) const;
+
+  // "(a=1, b=x)" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_CORE_TUPLE_H_

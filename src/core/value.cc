@@ -1,0 +1,207 @@
+#include "src/core/value.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace pivot {
+namespace {
+
+// FNV-1a over raw bytes.
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0.0;
+    case ValueType::kInt:
+      return static_cast<double>(int_value());
+    case ValueType::kDouble:
+      return double_value();
+    case ValueType::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+bool Value::AsBool() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return int_value() != 0;
+    case ValueType::kDouble:
+      return double_value() != 0.0;
+    case ValueType::kString:
+      return !string_value().empty();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kDouble: {
+      double d = double_value();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        return StrFormat("%.1f", d);
+      }
+      return StrFormat("%g", d);
+    }
+    case ValueType::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric types compare cross-type; otherwise order by type rank.
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = int_value();
+      int64_t b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(type());
+  int rb = rank(other.type());
+  if (ra != rb) {
+    return ra < rb ? -1 : 1;
+  }
+  if (is_string()) {
+    int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return 0;  // Both null.
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B97F4A7C15ULL;
+    case ValueType::kInt: {
+      int64_t v = int_value();
+      return HashBytes(&v, sizeof(v), 1);
+    }
+    case ValueType::kDouble: {
+      // Hash doubles that hold integral values identically to the int, so that
+      // group keys are stable across numeric promotion.
+      double d = double_value();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 9.2e18) {
+        int64_t v = static_cast<int64_t>(d);
+        return HashBytes(&v, sizeof(v), 1);
+      }
+      return HashBytes(&d, sizeof(d), 2);
+    }
+    case ValueType::kString:
+      return HashBytes(string_value().data(), string_value().size(), 3);
+  }
+  return 0;
+}
+
+namespace {
+
+enum class NumKind { kBothInt, kMixed, kNonNumeric };
+
+NumKind Classify(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return NumKind::kNonNumeric;
+  }
+  return (a.is_int() && b.is_int()) ? NumKind::kBothInt : NumKind::kMixed;
+}
+
+}  // namespace
+
+Value ValueAdd(const Value& a, const Value& b) {
+  if (a.is_string() && b.is_string()) {
+    return Value(a.string_value() + b.string_value());
+  }
+  switch (Classify(a, b)) {
+    case NumKind::kBothInt:
+      return Value(a.int_value() + b.int_value());
+    case NumKind::kMixed:
+      return Value(a.AsDouble() + b.AsDouble());
+    case NumKind::kNonNumeric:
+      return Value();
+  }
+  return Value();
+}
+
+Value ValueSub(const Value& a, const Value& b) {
+  switch (Classify(a, b)) {
+    case NumKind::kBothInt:
+      return Value(a.int_value() - b.int_value());
+    case NumKind::kMixed:
+      return Value(a.AsDouble() - b.AsDouble());
+    case NumKind::kNonNumeric:
+      return Value();
+  }
+  return Value();
+}
+
+Value ValueMul(const Value& a, const Value& b) {
+  switch (Classify(a, b)) {
+    case NumKind::kBothInt:
+      return Value(a.int_value() * b.int_value());
+    case NumKind::kMixed:
+      return Value(a.AsDouble() * b.AsDouble());
+    case NumKind::kNonNumeric:
+      return Value();
+  }
+  return Value();
+}
+
+Value ValueDiv(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Value();
+  }
+  if (a.is_int() && b.is_int()) {
+    if (b.int_value() == 0) {
+      return Value();
+    }
+    // Integer division truncates, matching LINQ/C semantics.
+    return Value(a.int_value() / b.int_value());
+  }
+  double denom = b.AsDouble();
+  if (denom == 0.0) {
+    return Value();
+  }
+  return Value(a.AsDouble() / denom);
+}
+
+Value ValueMod(const Value& a, const Value& b) {
+  if (!a.is_int() || !b.is_int() || b.int_value() == 0) {
+    return Value();
+  }
+  return Value(a.int_value() % b.int_value());
+}
+
+}  // namespace pivot

@@ -1,0 +1,124 @@
+#include "src/core/wire.h"
+
+#include <cstring>
+
+namespace pivot {
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool GetString(const uint8_t* data, size_t size, size_t* pos, std::string* s) {
+  uint64_t len = 0;
+  if (!GetVarint64(data, size, pos, &len)) {
+    return false;
+  }
+  if (len > size - *pos) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(data + *pos), len);
+  *pos += len;
+  return true;
+}
+
+void PutValue(std::vector<uint8_t>* out, const Value& v) {
+  out->push_back(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutVarintSigned64(out, v.int_value());
+      break;
+    case ValueType::kDouble: {
+      // Raw little-endian IEEE754; all supported platforms are LE.
+      double d = v.double_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+      }
+      break;
+    }
+    case ValueType::kString:
+      PutString(out, v.string_value());
+      break;
+  }
+}
+
+bool GetValue(const uint8_t* data, size_t size, size_t* pos, Value* v) {
+  if (*pos >= size) {
+    return false;
+  }
+  uint8_t tag = data[(*pos)++];
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *v = Value();
+      return true;
+    case ValueType::kInt: {
+      int64_t i = 0;
+      if (!GetVarintSigned64(data, size, pos, &i)) {
+        return false;
+      }
+      *v = Value(i);
+      return true;
+    }
+    case ValueType::kDouble: {
+      if (size - *pos < 8) {
+        return false;
+      }
+      uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<uint64_t>(data[*pos + static_cast<size_t>(i)]) << (8 * i);
+      }
+      *pos += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *v = Value(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!GetString(data, size, pos, &s)) {
+        return false;
+      }
+      *v = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void PutTuple(std::vector<uint8_t>* out, const Tuple& t) {
+  PutVarint64(out, t.size());
+  for (const auto& f : t.fields()) {
+    PutString(out, f.name);
+    PutValue(out, f.value);
+  }
+}
+
+bool GetTuple(const uint8_t* data, size_t size, size_t* pos, Tuple* t) {
+  uint64_t n = 0;
+  if (!GetVarint64(data, size, pos, &n)) {
+    return false;
+  }
+  // Each field costs at least 2 bytes on the wire; reject absurd counts early
+  // so malformed input cannot trigger huge allocations.
+  if (n > (size - *pos)) {
+    return false;
+  }
+  std::vector<Tuple::Field> fields;
+  fields.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Tuple::Field f;
+    if (!GetString(data, size, pos, &f.name) || !GetValue(data, size, pos, &f.value)) {
+      return false;
+    }
+    fields.push_back(std::move(f));
+  }
+  *t = Tuple(std::move(fields));
+  return true;
+}
+
+}  // namespace pivot

@@ -1,0 +1,36 @@
+// Binary wire codec for values, tuples and baggage building blocks.
+//
+// The paper's prototype serialized baggage with protocol buffers; this repo
+// substitutes a hand-rolled varint + length-prefix codec with the same
+// properties (compact, platform-independent, linear in payload size). See
+// DESIGN.md §1. All Get* functions are safe on untrusted input: they return
+// false on truncated or malformed bytes and never read past `size`.
+
+#ifndef PIVOT_SRC_CORE_WIRE_H_
+#define PIVOT_SRC_CORE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/varint.h"
+#include "src/core/tuple.h"
+#include "src/core/value.h"
+
+namespace pivot {
+
+// Length-prefixed UTF-8/byte string.
+void PutString(std::vector<uint8_t>* out, const std::string& s);
+bool GetString(const uint8_t* data, size_t size, size_t* pos, std::string* s);
+
+// Value: 1-byte type tag + payload (zig-zag varint / raw IEEE754 LE / string).
+void PutValue(std::vector<uint8_t>* out, const Value& v);
+bool GetValue(const uint8_t* data, size_t size, size_t* pos, Value* v);
+
+// Tuple: field count + (name, value) pairs.
+void PutTuple(std::vector<uint8_t>* out, const Tuple& t);
+bool GetTuple(const uint8_t* data, size_t size, size_t* pos, Tuple* t);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_CORE_WIRE_H_

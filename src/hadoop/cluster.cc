@@ -1,0 +1,53 @@
+#include "src/hadoop/cluster.h"
+
+#include <cassert>
+
+#include "src/hadoop/tracepoints.h"
+
+namespace pivot {
+
+HadoopCluster::HadoopCluster(HadoopClusterConfig config) : config_(std::move(config)) {
+  RegisterHadoopTracepointDefs(world_.schema());
+  master_host_ =
+      world_.AddHost("master", config_.disk_bytes_per_sec, config_.nic_bytes_per_sec);
+  for (int i = 0; i < config_.worker_hosts; ++i) {
+    std::string name(1, static_cast<char>('A' + i));
+    worker_hosts_.push_back(
+        world_.AddHost(name, config_.disk_bytes_per_sec, config_.nic_bytes_per_sec));
+  }
+
+  hdfs_ = HdfsDeployment::Create(&world_, master_host_, worker_hosts_, config_.hdfs,
+                                 config_.seed);
+  hdfs_.namenode->CreateFiles(config_.dataset_files);
+
+  if (config_.deploy_hbase) {
+    hbase_ = HbaseDeployment::Create(&world_, master_host_, worker_hosts_, hdfs_.namenode,
+                                     config_.hbase, config_.seed ^ 0x68626173);
+  }
+  if (config_.deploy_mapreduce) {
+    yarn_ = YarnDeployment::Create(&world_, master_host_, worker_hosts_,
+                                   config_.mapreduce.containers_per_node);
+    mapreduce_ = std::make_unique<MapReduceRuntime>(&world_, yarn_.resource_manager.get(),
+                                                    hdfs_.namenode, config_.seed ^ 0x6D617072);
+  }
+}
+
+SimProcess* HadoopCluster::AddClient(SimHost* host, std::string name) {
+  return world_.AddProcess(host, std::move(name));
+}
+
+void HadoopCluster::DowngradeNic(SimHost* host, double bytes_per_sec) {
+  host->nic_in().set_rate(bytes_per_sec);
+  host->nic_out().set_rate(bytes_per_sec);
+}
+
+void HadoopCluster::InjectGcPauses(SimProcess* proc, int64_t period_micros,
+                                   int64_t duration_micros, int64_t until_micros) {
+  for (int64_t t = period_micros; t <= until_micros; t += period_micros) {
+    world_.env()->ScheduleAt(t, [proc, duration_micros] {
+      proc->PauseUntil(proc->world()->env()->now_micros() + duration_micros);
+    });
+  }
+}
+
+}  // namespace pivot

@@ -1,0 +1,83 @@
+// HadoopCluster: assembles the paper's evaluation testbed (Fig 7) in the
+// simulator — 8 worker hosts each running a DataNode (and optionally a
+// RegionServer, NodeManager and MRTask runtime), plus a master host running
+// the NameNode, HBase Master and ResourceManager.
+//
+// Fault injection knobs reproduce the evaluation's two case studies:
+//   * HDFS-6268 replica-selection bug (§6.1) via HdfsConfig;
+//   * network limplock (§6.2 / Fig 9) via DowngradeNic;
+//   * rogue GC via InjectGcPauses.
+
+#ifndef PIVOT_SRC_HADOOP_CLUSTER_H_
+#define PIVOT_SRC_HADOOP_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/hadoop/hbase.h"
+#include "src/hadoop/hdfs.h"
+#include "src/hadoop/mapreduce.h"
+#include "src/hadoop/workloads.h"
+#include "src/hadoop/yarn.h"
+#include "src/simsys/sim_world.h"
+
+namespace pivot {
+
+struct HadoopClusterConfig {
+  int worker_hosts = 8;                  // Named "A".."H".
+  double disk_bytes_per_sec = 200e6;     // 200 MB/s disks.
+  double nic_bytes_per_sec = 125e6;      // 1 Gbit links.
+  HdfsConfig hdfs;
+  HbaseConfig hbase;
+  MrConfig mapreduce;
+  size_t dataset_files = 500;            // Pre-created HDFS files.
+  bool deploy_hbase = true;
+  bool deploy_mapreduce = true;
+  uint64_t seed = 42;
+};
+
+class HadoopCluster {
+ public:
+  explicit HadoopCluster(HadoopClusterConfig config);
+
+  SimWorld* world() { return &world_; }
+  const HadoopClusterConfig& config() const { return config_; }
+
+  SimHost* master_host() { return master_host_; }
+  const std::vector<SimHost*>& worker_hosts() const { return worker_hosts_; }
+  SimHost* worker(size_t i) { return worker_hosts_[i]; }
+
+  HdfsNameNode* namenode() { return hdfs_.namenode; }
+  HbaseDeployment& hbase() { return hbase_; }
+  MapReduceRuntime* mapreduce() { return mapreduce_.get(); }
+
+  // Adds a client application process named `name` on `host` (its procname
+  // is what Q2-style queries group by).
+  SimProcess* AddClient(SimHost* host, std::string name);
+
+  // ---- Fault injection ----
+
+  // Downgrades both link directions of `host` (Fig 9: 1 Gbit -> 100 Mbit).
+  void DowngradeNic(SimHost* host, double bytes_per_sec);
+
+  // Schedules periodic GC pauses on `proc`: every `period` simulated micros,
+  // pause for `duration`, until `until`.
+  void InjectGcPauses(SimProcess* proc, int64_t period_micros, int64_t duration_micros,
+                      int64_t until_micros);
+
+ private:
+  HadoopClusterConfig config_;
+  SimWorld world_;
+  SimHost* master_host_ = nullptr;
+  std::vector<SimHost*> worker_hosts_;
+  HdfsDeployment hdfs_;
+  HbaseDeployment hbase_;
+  YarnDeployment yarn_;
+  std::unique_ptr<MapReduceRuntime> mapreduce_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_HADOOP_CLUSTER_H_

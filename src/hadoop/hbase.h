@@ -1,0 +1,130 @@
+// Simulated HBase (§6): RegionServers serving get/scan requests over HDFS.
+//
+// The request path is client -> RegionServer (ClientService) -> HDFS
+// DataNode, with baggage throughout. RegionServers model a bounded handler
+// pool, so requests queue (Fig 9b's "RS Queue" component); handler CPU time
+// is "RS Process". GC pauses can be injected per RegionServer (the rogue-GC
+// replication of §6.2).
+//
+// Tracepoints: HBase.ClientService (entry; op, row), RS.QueueDone (queue
+// micros), RS.ProcessDone (process micros), and client-side
+// HBase.RequestSent / HBase.ResponseReceived for Q8-style latency queries.
+
+#ifndef PIVOT_SRC_HADOOP_HBASE_H_
+#define PIVOT_SRC_HADOOP_HBASE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/hadoop/hdfs.h"
+#include "src/simsys/sim_world.h"
+
+namespace pivot {
+
+struct HbaseConfig {
+  int handler_threads = 8;          // Concurrent requests per RegionServer.
+  int64_t get_cpu_micros = 500;     // Handler CPU for a get.
+  int64_t scan_cpu_micros = 4000;   // Handler CPU for a scan.
+  int64_t put_cpu_micros = 200;     // Handler CPU for a put (memstore insert).
+  uint64_t get_hdfs_bytes = 10 << 10;    // 10 kB row lookups (Hget).
+  uint64_t scan_hdfs_bytes = 4 << 20;    // 4 MB scans (Hscan).
+  uint64_t put_bytes = 1 << 10;          // 1 kB row writes (Hput).
+  // The memstore flushes to an HDFS file once it accumulates this much. The
+  // flush is *causally attributed to the put that crossed the threshold*
+  // (its baggage rides the flush IO) — the write-side analogue of Fig 1b's
+  // attribution, and a classic hidden-cost diagnosis target.
+  uint64_t memstore_flush_bytes = 1 << 20;
+};
+
+class HbaseRegionServer {
+ public:
+  HbaseRegionServer(SimProcess* proc, HdfsNameNode* namenode, const HbaseConfig* config,
+                    uint64_t seed);
+
+  SimProcess* process() { return proc_; }
+
+  // Server side of ClientService: queue for a handler, run the op ("get" /
+  // "scan": CPU + HDFS read; "put": CPU + memstore insert, possibly
+  // triggering a flush), respond with the payload size.
+  void HandleRequest(CtxPtr ctx, const std::string& op, uint64_t row, RpcRespond respond);
+
+  uint64_t memstore_bytes() const { return memstore_bytes_; }
+  int flushes() const { return flushes_; }
+
+ private:
+  struct PendingRequest {
+    CtxPtr ctx;
+    std::string op;
+    uint64_t row;
+    RpcRespond respond;
+    int64_t enqueued_at;
+  };
+
+  void MaybeStartNext();
+  void RunRequest(PendingRequest req);
+  void RunPut(std::shared_ptr<PendingRequest> req, int64_t process_start);
+  // Flushes the memstore to HDFS on a branch of `trigger`'s context.
+  void FlushMemstore(const CtxPtr& trigger);
+
+  SimProcess* proc_;
+  HdfsClient hdfs_;
+  const HbaseConfig* config_;
+  Rng rng_;
+  int busy_handlers_ = 0;
+  std::deque<PendingRequest> queue_;
+  uint64_t memstore_bytes_ = 0;
+  int flushes_ = 0;
+  Tracepoint* tp_client_service_;
+  Tracepoint* tp_queue_done_;
+  Tracepoint* tp_process_done_;
+  Tracepoint* tp_memstore_flush_;
+};
+
+// Client library for HBase: routes each request to the RegionServer owning
+// the row (rows are range-partitioned across RegionServers).
+class HbaseClient {
+ public:
+  HbaseClient(SimProcess* proc, std::vector<HbaseRegionServer*> region_servers, uint64_t seed);
+
+  struct RequestResult {
+    int64_t latency_micros = 0;
+    std::string region_server_host;
+  };
+
+  void Get(CtxPtr ctx, std::function<void(CtxPtr, RequestResult)> done);
+  void Scan(CtxPtr ctx, std::function<void(CtxPtr, RequestResult)> done);
+  void Put(CtxPtr ctx, std::function<void(CtxPtr, RequestResult)> done);
+
+ private:
+  void Request(CtxPtr ctx, const std::string& op, std::function<void(CtxPtr, RequestResult)> done);
+
+  SimProcess* proc_;
+  std::vector<HbaseRegionServer*> region_servers_;
+  Rng rng_;
+  Tracepoint* tp_client_protocols_;
+  Tracepoint* tp_request_sent_;
+  Tracepoint* tp_response_received_;
+};
+
+// Builds one RegionServer per listed host (plus a Master process for
+// topology fidelity; the Master serves no requests in this model).
+struct HbaseDeployment {
+  SimProcess* master = nullptr;
+  std::vector<std::unique_ptr<HbaseRegionServer>> region_servers;
+  std::unique_ptr<HbaseConfig> config;
+
+  std::vector<HbaseRegionServer*> servers() const;
+
+  static HbaseDeployment Create(SimWorld* world, SimHost* master_host,
+                                const std::vector<SimHost*>& rs_hosts, HdfsNameNode* namenode,
+                                HbaseConfig config, uint64_t seed);
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_HADOOP_HBASE_H_

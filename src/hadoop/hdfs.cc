@@ -1,0 +1,476 @@
+#include "src/hadoop/hdfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/strings.h"
+#include "src/hadoop/tracepoints.h"
+
+namespace pivot {
+
+// ---------------------------------------------------------------------------
+// HdfsDataNode
+
+HdfsDataNode::HdfsDataNode(SimProcess* proc, const HdfsConfig* config)
+    : proc_(proc),
+      config_(config),
+      // One "unit" per op at a rate of 1/datanode_op_micros ops per µs.
+      xceiver_(proc->world()->env(), proc->host()->name() + "/xceiver",
+               static_cast<double>(kMicrosPerSecond) /
+                   static_cast<double>(config->datanode_op_micros)) {
+  tp_dtp_ = GetOrDefineTracepoint(proc, DnDataTransferProtocolDef());
+  tp_dtp_done_ = GetOrDefineTracepoint(proc, DnTransferDoneDef());
+  tp_incr_read_ = GetOrDefineTracepoint(proc, IncrBytesReadDef());
+  tp_incr_write_ = GetOrDefineTracepoint(proc, IncrBytesWrittenDef());
+  tp_fis_read_ = GetOrDefineTracepoint(proc, FileInputStreamReadDef());
+  tp_fos_write_ = GetOrDefineTracepoint(proc, FileOutputStreamWriteDef());
+}
+
+void HdfsDataNode::HandleRead(CtxPtr ctx, const std::string& src, uint64_t bytes,
+                              double requester_nic_rate, RpcRespond respond) {
+  SimEnvironment* env = proc_->world()->env();
+  int64_t gc = proc_->PauseDelay();
+  tp_dtp_->Invoke(ctx.get(), {{"op", Value("READ")}, {"src", Value(src)}});
+
+  env->Schedule(gc, [this, ctx, src, bytes, gc, requester_nic_rate,
+                     respond = std::move(respond)]() mutable {
+    xceiver_.Transfer(1, [this, ctx, src, bytes, gc, requester_nic_rate,
+                          respond = std::move(respond)]() mutable {
+    proc_->host()->disk().Transfer(
+        bytes, [this, ctx, bytes, gc, requester_nic_rate,
+                respond = std::move(respond)](int64_t, int64_t) mutable {
+          auto delta = static_cast<int64_t>(bytes);
+          tp_fis_read_->Invoke(ctx.get(), {{"delta", Value(delta)}, {"category", Value("HDFS")}});
+          tp_incr_read_->Invoke(ctx.get(), {{"delta", Value(delta)}});
+
+          // Response-path timing estimates exported for latency decomposition
+          // (Fig 9b): how long the response will sit in the NIC queue and how
+          // long the data transfer takes over the path bottleneck.
+          SimResource& nic = proc_->host()->nic_out();
+          int64_t blocked = nic.QueueDelay();
+          double path_rate = std::min(nic.rate(), requester_nic_rate > 0
+                                                      ? requester_nic_rate
+                                                      : nic.rate());
+          auto transfer = static_cast<int64_t>(static_cast<double>(bytes) / path_rate *
+                                               kMicrosPerSecond);
+          tp_dtp_done_->Invoke(ctx.get(), {{"op", Value("READ")},
+                                           {"transfer", Value(transfer)},
+                                           {"blocked", Value(blocked)},
+                                           {"gc", Value(gc)}});
+          respond(std::move(ctx), bytes + config_->rpc_response_bytes);
+        });
+    });
+  });
+}
+
+void HdfsDataNode::HandleWrite(CtxPtr ctx, const std::string& src, uint64_t bytes,
+                               std::vector<HdfsDataNode*> downstream, RpcRespond respond) {
+  SimEnvironment* env = proc_->world()->env();
+  int64_t gc = proc_->PauseDelay();
+  tp_dtp_->Invoke(ctx.get(), {{"op", Value("WRITE")}, {"src", Value(src)}});
+
+  env->Schedule(gc, [this, ctx, src, bytes, gc, downstream = std::move(downstream),
+                     respond = std::move(respond)]() mutable {
+    xceiver_.Transfer(1, [this, ctx, src, bytes, gc, downstream = std::move(downstream),
+                          respond = std::move(respond)]() mutable {
+    proc_->host()->disk().Transfer(
+        bytes, [this, ctx, src, bytes, gc, downstream = std::move(downstream),
+                respond = std::move(respond)](int64_t, int64_t) mutable {
+          auto delta = static_cast<int64_t>(bytes);
+          tp_fos_write_->Invoke(ctx.get(), {{"delta", Value(delta)}, {"category", Value("HDFS")}});
+          tp_incr_write_->Invoke(ctx.get(), {{"delta", Value(delta)}});
+          tp_dtp_done_->Invoke(ctx.get(), {{"op", Value("WRITE")},
+                                           {"transfer", Value(int64_t{0})},
+                                           {"blocked", Value(int64_t{0})},
+                                           {"gc", Value(gc)}});
+          if (downstream.empty()) {
+            respond(std::move(ctx), config_->rpc_response_bytes);
+            return;
+          }
+          // Chain the block to the next replica; ack only after it acks.
+          HdfsDataNode* next = downstream.front();
+          std::vector<HdfsDataNode*> rest(downstream.begin() + 1, downstream.end());
+          SimRpcCall(
+              proc_, next->process(), std::move(ctx), config_->rpc_request_bytes + bytes,
+              [next, src, bytes, rest = std::move(rest)](CtxPtr sctx,
+                                                         RpcRespond inner) mutable {
+                next->HandleWrite(std::move(sctx), src, bytes, std::move(rest),
+                                  std::move(inner));
+              },
+              [this, respond = std::move(respond)](CtxPtr back) mutable {
+                respond(std::move(back), config_->rpc_response_bytes);
+              });
+        });
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// HdfsNameNode
+
+HdfsNameNode::HdfsNameNode(SimProcess* proc, HdfsConfig config, uint64_t seed)
+    : proc_(proc),
+      config_(config),
+      rng_(seed),
+      namespace_lock_(proc->world()->env(), "NameNode/nslock", 1.0) {
+  tp_getloc_ = GetOrDefineTracepoint(proc, NnGetBlockLocationsDef());
+  tp_client_protocol_ = GetOrDefineTracepoint(proc, NnClientProtocolDef());
+  tp_client_protocol_done_ = GetOrDefineTracepoint(proc, NnClientProtocolDoneDef());
+}
+
+bool HdfsNameNode::IsWriteOp(const std::string& op) {
+  return op == "create" || op == "rename" || op == "delete" || op == "mkdir";
+}
+
+void HdfsNameNode::CreateFiles(size_t count, uint64_t file_bytes) {
+  assert(datanodes_.size() >= static_cast<size_t>(config_.replication));
+  files_.clear();
+  files_.reserve(count);
+  if (file_bytes == 0) {
+    file_bytes = config_.block_bytes;
+  }
+  uint64_t next_block_id = 0;
+  for (size_t i = 0; i < count; ++i) {
+    HdfsFile file;
+    file.id = i;
+    file.bytes = file_bytes;
+    size_t nblocks =
+        static_cast<size_t>((file_bytes + config_.block_bytes - 1) / config_.block_bytes);
+    for (size_t b = 0; b < nblocks; ++b) {
+      HdfsBlock block;
+      block.id = next_block_id++;
+      // Choose `replication` distinct DataNodes uniformly at random.
+      std::vector<size_t> indices(datanodes_.size());
+      for (size_t j = 0; j < indices.size(); ++j) {
+        indices[j] = j;
+      }
+      for (int r = 0; r < config_.replication; ++r) {
+        size_t pick =
+            static_cast<size_t>(r) + rng_.NextBelow(indices.size() - static_cast<size_t>(r));
+        std::swap(indices[static_cast<size_t>(r)], indices[pick]);
+        block.replicas.push_back(datanodes_[indices[static_cast<size_t>(r)]]);
+      }
+      file.blocks.push_back(std::move(block));
+    }
+    files_.push_back(std::move(file));
+  }
+}
+
+void HdfsNameNode::HandleGetBlockLocations(
+    CtxPtr ctx, uint64_t file_id, const std::string& client_host,
+    std::function<void(CtxPtr, std::vector<std::vector<HdfsDataNode*>>)> respond) {
+  SimEnvironment* env = proc_->world()->env();
+  int64_t gc = proc_->PauseDelay();
+  std::string src = "file-" + std::to_string(file_id);
+  tp_client_protocol_->Invoke(ctx.get(),
+                              {{"op", Value("getBlockLocations")}, {"src", Value(src)}});
+
+  assert(file_id < files_.size());
+  const HdfsFile& file = files_[file_id];
+
+  // Orders one block's replicas: local replicas first, then the rest.
+  // HDFS-6268: without the fix the NameNode leaves the non-local replicas in
+  // a deterministic topology order instead of randomizing them.
+  auto order_replicas = [&](const std::vector<HdfsDataNode*>& replicas) {
+    std::vector<HdfsDataNode*> local;
+    std::vector<HdfsDataNode*> rest;
+    for (HdfsDataNode* dn : replicas) {
+      if (dn->host_name() == client_host) {
+        local.push_back(dn);
+      } else {
+        rest.push_back(dn);
+      }
+    }
+    if (config_.namenode_static_replica_order) {
+      // pseudoSortByDistance without randomization: a fixed topology order
+      // (configurable), falling back to DataNode registration order.
+      auto pos = [this](HdfsDataNode* dn) -> ptrdiff_t {
+        if (!config_.static_order_hosts.empty()) {
+          auto it = std::find(config_.static_order_hosts.begin(),
+                              config_.static_order_hosts.end(), dn->host_name());
+          if (it != config_.static_order_hosts.end()) {
+            return it - config_.static_order_hosts.begin();
+          }
+        }
+        return static_cast<ptrdiff_t>(config_.static_order_hosts.size()) +
+               (std::find(datanodes_.begin(), datanodes_.end(), dn) - datanodes_.begin());
+      };
+      std::sort(rest.begin(), rest.end(),
+                [&pos](HdfsDataNode* a, HdfsDataNode* b) { return pos(a) < pos(b); });
+    } else {
+      for (size_t i = rest.size(); i > 1; --i) {
+        std::swap(rest[i - 1], rest[rng_.NextBelow(i)]);
+      }
+    }
+    std::vector<HdfsDataNode*> ordered = std::move(local);
+    ordered.insert(ordered.end(), rest.begin(), rest.end());
+    return ordered;
+  };
+
+  std::vector<std::vector<HdfsDataNode*>> per_block;
+  per_block.reserve(file.blocks.size());
+  for (const HdfsBlock& block : file.blocks) {
+    per_block.push_back(order_replicas(block.replicas));
+  }
+
+  // Export the first block's replica *set* in canonical (sorted) order so
+  // queries grouping by `replicas` (Q5, Q7) see one group per set, and
+  // clients receive the policy-ordered per-block lists separately.
+  std::vector<std::string> sorted_hosts;
+  for (HdfsDataNode* dn : per_block.front()) {
+    sorted_hosts.push_back(dn->host_name());
+  }
+  std::sort(sorted_hosts.begin(), sorted_hosts.end());
+  tp_getloc_->Invoke(ctx.get(),
+                     {{"src", Value(src)}, {"replicas", Value(StrJoin(sorted_hosts, ","))}});
+
+  // Lookups take the namespace lock *shared* (read path): they wait out any
+  // exclusive writer but run concurrently with each other — so a NameNode
+  // bogged down by write locking delays reads without reads serializing.
+  int64_t lockwait = namespace_lock_.QueueDelay();
+  env->Schedule(gc + lockwait + config_.namenode_op_micros,
+                [this, ctx, lockwait, per_block = std::move(per_block),
+                 respond = std::move(respond)]() mutable {
+                  tp_client_protocol_done_->Invoke(
+                      ctx.get(),
+                      {{"op", Value("getBlockLocations")}, {"lockwait", Value(lockwait)}});
+                  respond(std::move(ctx), std::move(per_block));
+                });
+}
+
+void HdfsNameNode::HandleAllocateBlock(
+    CtxPtr ctx, const std::string& client_host,
+    std::function<void(CtxPtr, std::vector<HdfsDataNode*>)> respond) {
+  SimEnvironment* env = proc_->world()->env();
+  int64_t gc = proc_->PauseDelay();
+  tp_client_protocol_->Invoke(ctx.get(), {{"op", Value("addBlock")}, {"src", Value("new-file")}});
+
+  // Local-first placement, then random distinct remote targets.
+  std::vector<HdfsDataNode*> targets;
+  for (HdfsDataNode* dn : datanodes_) {
+    if (dn->host_name() == client_host) {
+      targets.push_back(dn);
+      break;
+    }
+  }
+  while (targets.size() < static_cast<size_t>(config_.replication) &&
+         targets.size() < datanodes_.size()) {
+    HdfsDataNode* pick = datanodes_[rng_.NextBelow(datanodes_.size())];
+    if (std::find(targets.begin(), targets.end(), pick) == targets.end()) {
+      targets.push_back(pick);
+    }
+  }
+
+  // Block allocation mutates the namespace: exclusive lock.
+  env->Schedule(gc, [this, ctx, targets = std::move(targets),
+                     respond = std::move(respond)]() mutable {
+    namespace_lock_.Occupy(
+        config_.namenode_write_lock_micros,
+        [this, ctx, targets = std::move(targets),
+         respond = std::move(respond)](int64_t queued) mutable {
+          tp_client_protocol_done_->Invoke(
+              ctx.get(), {{"op", Value("addBlock")}, {"lockwait", Value(queued)}});
+          respond(std::move(ctx), std::move(targets));
+        });
+  });
+}
+
+void HdfsNameNode::HandleMetadataOp(CtxPtr ctx, const std::string& op, const std::string& src,
+                                    RpcRespond respond) {
+  SimEnvironment* env = proc_->world()->env();
+  int64_t gc = proc_->PauseDelay();
+  tp_client_protocol_->Invoke(ctx.get(), {{"op", Value(op)}, {"src", Value(src)}});
+  uint64_t response_bytes = config_.rpc_response_bytes;
+  // Write ops hold the namespace lock exclusively (§6.2's NameNode-overload
+  // scenario); read ops take it shared — they wait out writers but run
+  // concurrently with each other.
+  if (IsWriteOp(op)) {
+    env->Schedule(gc, [this, ctx, op, response_bytes, respond = std::move(respond)]() mutable {
+      namespace_lock_.Occupy(
+          config_.namenode_write_lock_micros,
+          [this, ctx, op, response_bytes, respond = std::move(respond)](int64_t queued) mutable {
+            tp_client_protocol_done_->Invoke(ctx.get(),
+                                             {{"op", Value(op)}, {"lockwait", Value(queued)}});
+            respond(std::move(ctx), response_bytes);
+          });
+    });
+    return;
+  }
+  int64_t lockwait = namespace_lock_.QueueDelay();
+  env->Schedule(gc + lockwait + config_.namenode_op_micros,
+                [this, ctx, op, lockwait, response_bytes,
+                 respond = std::move(respond)]() mutable {
+                  tp_client_protocol_done_->Invoke(
+                      ctx.get(), {{"op", Value(op)}, {"lockwait", Value(lockwait)}});
+                  respond(std::move(ctx), response_bytes);
+                });
+}
+
+// ---------------------------------------------------------------------------
+// HdfsClient
+
+HdfsClient::HdfsClient(SimProcess* proc, HdfsNameNode* namenode, uint64_t seed)
+    : proc_(proc), namenode_(namenode), rng_(seed) {
+  tp_client_protocols_ = GetOrDefineTracepoint(proc, ClientProtocolsDef());
+}
+
+void HdfsClient::FireClientProtocols(const CtxPtr& ctx) {
+  tp_client_protocols_->Invoke(
+      ctx.get(),
+      {{"procName", Value(proc_->name())}, {"system", Value("HDFS")}});
+}
+
+void HdfsClient::Read(CtxPtr ctx, uint64_t file_id, uint64_t bytes,
+                      std::function<void(CtxPtr, ReadResult)> done) {
+  FireClientProtocols(ctx);
+  const HdfsConfig& config = namenode_->config();
+  int64_t start = proc_->world()->env()->now_micros();
+
+  auto locations = std::make_shared<std::vector<std::vector<HdfsDataNode*>>>();
+  HdfsNameNode* nn = namenode_;
+  std::string client_host = proc_->host()->name();
+
+  SimRpcCall(
+      proc_, nn->process(), ctx, config.rpc_request_bytes,
+      [nn, file_id, client_host, locations](CtxPtr sctx, RpcRespond respond) {
+        nn->HandleGetBlockLocations(
+            std::move(sctx), file_id, client_host,
+            [nn, locations, respond = std::move(respond)](
+                CtxPtr c, std::vector<std::vector<HdfsDataNode*>> locs) {
+              *locations = std::move(locs);
+              respond(std::move(c), nn->config().rpc_response_bytes);
+            });
+      },
+      [this, locations, bytes, file_id, start, client_host,
+       done = std::move(done)](CtxPtr c) mutable {
+        assert(!locations->empty());
+        const HdfsConfig& cfg = namenode_->config();
+
+        // Replica selection per block. HDFS-6268 client half: always take
+        // the first location. Fixed behaviour: local replica if offered,
+        // otherwise pick uniformly at random.
+        auto choose = [this, &cfg, client_host](const std::vector<HdfsDataNode*>& ordered) {
+          if (cfg.client_selects_first_location) {
+            return ordered[0];
+          }
+          if (ordered[0]->host_name() == client_host) {
+            return ordered[0];
+          }
+          return ordered[rng_.NextBelow(ordered.size())];
+        };
+
+        // Sequential block reads, the way a positional HDFS read walks the
+        // file: block i from its selected replica, then block i+1, ...
+        auto state = std::make_shared<ReadState>();
+        uint64_t remaining = bytes;
+        for (size_t b = 0; b < locations->size() && remaining > 0; ++b) {
+          uint64_t take = std::min<uint64_t>(remaining, cfg.block_bytes);
+          state->targets.push_back(choose((*locations)[b]));
+          state->sizes.push_back(take);
+          remaining -= take;
+        }
+        if (remaining > 0 && !state->targets.empty()) {
+          // Read request larger than the file: charge the tail to the last
+          // block (the simulator does not track file contents).
+          state->sizes.back() += remaining;
+        }
+        state->src = "file-" + std::to_string(file_id);
+        state->requester_rate = proc_->host()->nic_in().rate();
+        state->start = start;
+        state->done = std::move(done);
+        ContinueRead(std::move(state), std::move(c));
+      });
+}
+
+void HdfsClient::ContinueRead(std::shared_ptr<ReadState> state, CtxPtr ctx) {
+  if (state->next >= state->targets.size()) {
+    ReadResult result;
+    result.latency_micros = proc_->world()->env()->now_micros() - state->start;
+    result.datanode_host = state->targets.empty() ? "" : state->targets.back()->host_name();
+    state->done(std::move(ctx), result);
+    return;
+  }
+  HdfsDataNode* chosen = state->targets[state->next];
+  uint64_t take = state->sizes[state->next];
+  ++state->next;
+  std::string src = state->src;
+  double requester_rate = state->requester_rate;
+  SimRpcCall(
+      proc_, chosen->process(), std::move(ctx), namenode_->config().rpc_request_bytes,
+      [chosen, src, take, requester_rate](CtxPtr sctx, RpcRespond respond) {
+        chosen->HandleRead(std::move(sctx), src, take, requester_rate, std::move(respond));
+      },
+      // The continuation owns the state; the state never owns a closure, so
+      // abandoned in-flight reads (simulation end) free cleanly.
+      [this, state = std::move(state)](CtxPtr c2) mutable {
+        ContinueRead(std::move(state), std::move(c2));
+      });
+}
+
+void HdfsClient::Write(CtxPtr ctx, uint64_t bytes, std::function<void(CtxPtr)> done) {
+  FireClientProtocols(ctx);
+  const HdfsConfig& config = namenode_->config();
+  HdfsNameNode* nn = namenode_;
+  std::string client_host = proc_->host()->name();
+
+  // 1. Ask the NameNode for a replication pipeline.
+  auto pipeline = std::make_shared<std::vector<HdfsDataNode*>>();
+  SimRpcCall(
+      proc_, nn->process(), std::move(ctx), config.rpc_request_bytes,
+      [nn, client_host, pipeline](CtxPtr sctx, RpcRespond respond) {
+        nn->HandleAllocateBlock(
+            std::move(sctx), client_host,
+            [nn, pipeline, respond = std::move(respond)](CtxPtr c,
+                                                         std::vector<HdfsDataNode*> targets) {
+              *pipeline = std::move(targets);
+              respond(std::move(c), nn->config().rpc_response_bytes);
+            });
+      },
+      [this, pipeline, bytes, done = std::move(done)](CtxPtr c) mutable {
+        assert(!pipeline->empty());
+        // 2. Stream to the pipeline head; it chains to the rest.
+        HdfsDataNode* head = (*pipeline)[0];
+        std::vector<HdfsDataNode*> rest(pipeline->begin() + 1, pipeline->end());
+        const HdfsConfig& cfg = namenode_->config();
+        SimRpcCall(
+            proc_, head->process(), std::move(c), cfg.rpc_request_bytes + bytes,
+            [head, bytes, rest = std::move(rest)](CtxPtr sctx, RpcRespond respond) mutable {
+              head->HandleWrite(std::move(sctx), "new-file", bytes, std::move(rest),
+                                std::move(respond));
+            },
+            [done = std::move(done)](CtxPtr back) mutable { done(std::move(back)); });
+      });
+}
+
+void HdfsClient::MetadataOp(CtxPtr ctx, const std::string& op, std::function<void(CtxPtr)> done) {
+  FireClientProtocols(ctx);
+  const HdfsConfig& config = namenode_->config();
+  HdfsNameNode* nn = namenode_;
+  SimRpcCall(
+      proc_, nn->process(), std::move(ctx), config.rpc_request_bytes,
+      [nn, op](CtxPtr sctx, RpcRespond respond) {
+        nn->HandleMetadataOp(std::move(sctx), op, "/bench/file", std::move(respond));
+      },
+      [done = std::move(done)](CtxPtr c) mutable { done(std::move(c)); });
+}
+
+// ---------------------------------------------------------------------------
+// HdfsDeployment
+
+HdfsDeployment HdfsDeployment::Create(SimWorld* world, SimHost* namenode_host,
+                                      const std::vector<SimHost*>& datanode_hosts,
+                                      HdfsConfig config, uint64_t seed) {
+  HdfsDeployment deployment;
+  SimProcess* nn_proc = world->AddProcess(namenode_host, "NameNode");
+  deployment.namenode_owned = std::make_unique<HdfsNameNode>(nn_proc, config, seed);
+  deployment.namenode = deployment.namenode_owned.get();
+  for (SimHost* host : datanode_hosts) {
+    SimProcess* dn_proc = world->AddProcess(host, "DataNode");
+    deployment.datanodes.push_back(
+        std::make_unique<HdfsDataNode>(dn_proc, &deployment.namenode->config()));
+    deployment.namenode->RegisterDataNode(deployment.datanodes.back().get());
+  }
+  return deployment;
+}
+
+}  // namespace pivot

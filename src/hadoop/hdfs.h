@@ -1,0 +1,232 @@
+// Simulated HDFS: NameNode, DataNodes, and the client library (§6 "HDFS is a
+// distributed file system that consists of several DataNodes that store
+// replicated file blocks and a NameNode that manages the filesystem
+// metadata").
+//
+// Instrumented with the tracepoints the paper's queries use:
+//   ClientProtocols                  client-side protocol entry (exports
+//                                    procName); the union tracepoint of Q2
+//   NN.GetBlockLocations             exports src (file), replicas (ordered
+//                                    location list, "B,D,F")
+//   NN.ClientProtocol                NameNode op entry (op, src)
+//   DN.DataTransferProtocol          DataNode op entry (op, src)
+//   DN.DataTransferProtocol.done     exports transfer/blocked/gc micros
+//                                    (Fig 9b's DN components)
+//   DataNodeMetrics.incrBytesRead    exports delta (Q1/Q2)
+//   DataNodeMetrics.incrBytesWritten exports delta
+//   FileInputStream.read /           exports delta, category — any process's
+//   FileOutputStream.write           direct disk IO (Fig 1c)
+//
+// Fault injection: the HDFS-6268 replica-selection bug (§6.1) is modelled
+// exactly as diagnosed — the NameNode does not randomize rack-local replica
+// order AND the client always takes the first returned location.
+
+#ifndef PIVOT_SRC_HADOOP_HDFS_H_
+#define PIVOT_SRC_HADOOP_HDFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/simsys/sim_rpc.h"
+#include "src/simsys/sim_world.h"
+
+namespace pivot {
+
+struct HdfsConfig {
+  int replication = 3;
+  uint64_t block_bytes = 128ull << 20;
+
+  // HDFS-6268 (both halves of the bug; §6.1).
+  bool namenode_static_replica_order = true;  // NN does not randomize.
+  bool client_selects_first_location = true;  // Client does not randomize.
+  // The deterministic ordering pseudoSortByDistance degenerates to. In the
+  // paper's cluster the network-topology order happened to put hosts A and D
+  // first (hence Fig 8's hot hosts); empty = DataNode registration order.
+  std::vector<std::string> static_order_hosts;
+
+  // Service costs.
+  int64_t namenode_op_micros = 300;   // NN metadata op CPU time (read ops).
+  // Mutating metadata ops (create/rename/delete/mkdir) hold the NameNode's
+  // exclusive namespace lock this long — the §6.2 "overloaded HDFS NameNode
+  // due to exclusive write locking" scenario scales with this.
+  int64_t namenode_write_lock_micros = 2000;
+  int64_t datanode_op_micros = 400;   // DN per-op overhead (setup, checksums).
+  uint64_t rpc_request_bytes = 256;   // Application payload sizes.
+  uint64_t rpc_response_bytes = 512;
+};
+
+class HdfsDataNode;
+
+// One replicated block.
+struct HdfsBlock {
+  uint64_t id = 0;
+  std::vector<HdfsDataNode*> replicas;
+};
+
+// A file decomposed into blocks ("HDFS provides file redundancy by
+// decomposing files into blocks and replicating each block", §6.1).
+struct HdfsFile {
+  uint64_t id = 0;
+  uint64_t bytes = 0;
+  std::vector<HdfsBlock> blocks;
+};
+
+class HdfsDataNode {
+ public:
+  // The DataNode serves ops through a bounded "xceiver" FIFO (service time
+  // datanode_op_micros per op): an overloaded DataNode queues, which is what
+  // turns the replica-selection skew of Fig 8c into the reduced *client*
+  // throughput of Fig 8a.
+  HdfsDataNode(SimProcess* proc, const HdfsConfig* config);
+
+  SimProcess* process() { return proc_; }
+  const std::string& host_name() const { return proc_->host()->name(); }
+
+  // Server side of DataTransferProtocol READ: disk transfer + metrics
+  // tracepoints, then respond with the data payload. `requester_nic_rate` is
+  // the requester's link rate (bytes/s), used to estimate the response
+  // transfer time over the path bottleneck for the Fig 9b decomposition
+  // (real DataNodes observe this as TCP send-buffer backpressure).
+  void HandleRead(CtxPtr ctx, const std::string& src, uint64_t bytes,
+                  double requester_nic_rate, RpcRespond respond);
+
+  // Server side of WRITE: writes locally, then forwards down the replication
+  // pipeline (`downstream`, possibly empty) before acking — the HDFS chain
+  // write (client -> DN1 -> DN2 -> DN3), with baggage riding every hop.
+  void HandleWrite(CtxPtr ctx, const std::string& src, uint64_t bytes,
+                   std::vector<HdfsDataNode*> downstream, RpcRespond respond);
+
+ private:
+  SimProcess* proc_;
+  const HdfsConfig* config_;
+  SimResource xceiver_;
+  Tracepoint* tp_dtp_;
+  Tracepoint* tp_dtp_done_;
+  Tracepoint* tp_incr_read_;
+  Tracepoint* tp_incr_write_;
+  Tracepoint* tp_fis_read_;
+  Tracepoint* tp_fos_write_;
+};
+
+class HdfsNameNode {
+ public:
+  HdfsNameNode(SimProcess* proc, HdfsConfig config, uint64_t seed);
+
+  SimProcess* process() { return proc_; }
+  const HdfsConfig& config() const { return config_; }
+
+  void RegisterDataNode(HdfsDataNode* dn) { datanodes_.push_back(dn); }
+  const std::vector<HdfsDataNode*>& datanodes() const { return datanodes_; }
+
+  // Creates `count` files of `file_bytes` each (0 = one block), decomposed
+  // into block_bytes blocks whose `replication` replicas are placed uniformly
+  // at random across registered DataNodes.
+  void CreateFiles(size_t count, uint64_t file_bytes = 0);
+  size_t file_count() const { return files_.size(); }
+  const HdfsFile& file(uint64_t id) const { return files_[id]; }
+
+  // Server-side GetBlockLocations: returns, per block, the replica locations
+  // ordered by the (possibly buggy) selection policy relative to
+  // `client_host`. The tracepoint fires once per call (like the real RPC),
+  // exporting the first block's replica set.
+  void HandleGetBlockLocations(
+      CtxPtr ctx, uint64_t file_id, const std::string& client_host,
+      std::function<void(CtxPtr, std::vector<std::vector<HdfsDataNode*>>)> respond);
+
+  // Server-side metadata-only ops (NNBench-style Open/Create/Rename).
+  void HandleMetadataOp(CtxPtr ctx, const std::string& op, const std::string& src,
+                        RpcRespond respond);
+
+  // Server-side block allocation for writes: picks `replication` pipeline
+  // targets, preferring a DataNode local to `client_host` for the head.
+  void HandleAllocateBlock(CtxPtr ctx, const std::string& client_host,
+                           std::function<void(CtxPtr, std::vector<HdfsDataNode*>)> respond);
+
+ private:
+  // True for ops that take the namespace lock exclusively.
+  static bool IsWriteOp(const std::string& op);
+
+  SimProcess* proc_;
+  HdfsConfig config_;
+  Rng rng_;
+  // The global namespace lock: every metadata op serializes through it;
+  // write ops hold it for namenode_write_lock_micros.
+  SimResource namespace_lock_;
+  std::vector<HdfsDataNode*> datanodes_;
+  std::vector<HdfsFile> files_;
+  Tracepoint* tp_getloc_;
+  Tracepoint* tp_client_protocol_;
+  Tracepoint* tp_client_protocol_done_;
+};
+
+// The client library: lives in any process that talks to HDFS. Carries the
+// per-request path client -> NameNode -> DataNode with baggage throughout.
+class HdfsClient {
+ public:
+  // `proc` is the process embedding the client (a StressTest client, an HBase
+  // RegionServer, a MapReduce task, ...).
+  HdfsClient(SimProcess* proc, HdfsNameNode* namenode, uint64_t seed);
+
+  SimProcess* process() { return proc_; }
+  HdfsNameNode* namenode() { return namenode_; }
+
+  struct ReadResult {
+    int64_t latency_micros = 0;
+    std::string datanode_host;
+  };
+
+  // Reads `bytes` of file `file_id`: GetBlockLocations, replica selection
+  // (buggy or fixed per config), DataTransferProtocol read.
+  void Read(CtxPtr ctx, uint64_t file_id, uint64_t bytes,
+            std::function<void(CtxPtr, ReadResult)> done);
+
+  // Writes `bytes` to a new file through a replication pipeline: the
+  // NameNode allocates `replication` targets (local-first), the client
+  // streams to the first DataNode, which chains to the rest.
+  void Write(CtxPtr ctx, uint64_t bytes, std::function<void(CtxPtr)> done);
+
+  // Metadata-only op (Open/Create/Rename).
+  void MetadataOp(CtxPtr ctx, const std::string& op, std::function<void(CtxPtr)> done);
+
+ private:
+  // In-flight multi-block read: block targets/sizes and the completion.
+  struct ReadState {
+    std::vector<HdfsDataNode*> targets;
+    std::vector<uint64_t> sizes;
+    size_t next = 0;
+    std::string src;
+    double requester_rate = 0;
+    int64_t start = 0;
+    std::function<void(CtxPtr, ReadResult)> done;
+  };
+
+  // Fires the ClientProtocols union tracepoint (Q2's join source).
+  void FireClientProtocols(const CtxPtr& ctx);
+
+  // Issues the next block read of `state`, or completes it.
+  void ContinueRead(std::shared_ptr<ReadState> state, CtxPtr ctx);
+
+  SimProcess* proc_;
+  HdfsNameNode* namenode_;
+  Rng rng_;
+  Tracepoint* tp_client_protocols_;
+};
+
+// Convenience: builds a NameNode process + one DataNode per listed host.
+struct HdfsDeployment {
+  HdfsNameNode* namenode = nullptr;
+  std::vector<std::unique_ptr<HdfsDataNode>> datanodes;
+  std::unique_ptr<HdfsNameNode> namenode_owned;
+
+  static HdfsDeployment Create(SimWorld* world, SimHost* namenode_host,
+                               const std::vector<SimHost*>& datanode_hosts, HdfsConfig config,
+                               uint64_t seed);
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_HADOOP_HDFS_H_

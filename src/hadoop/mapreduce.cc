@@ -1,0 +1,231 @@
+#include "src/hadoop/mapreduce.h"
+
+#include <cassert>
+
+#include "src/hadoop/tracepoints.h"
+
+namespace pivot {
+
+MrTaskRuntime::MrTaskRuntime(SimProcess* proc, HdfsNameNode* namenode, uint64_t seed)
+    : proc_(proc), hdfs_(proc, namenode, seed) {
+  tp_fis_ = GetOrDefineTracepoint(proc, FileInputStreamReadDef());
+  tp_fos_ = GetOrDefineTracepoint(proc, FileOutputStreamWriteDef());
+  tp_map_done_ = GetOrDefineTracepoint(proc, MapTaskDoneDef());
+  tp_reduce_done_ = GetOrDefineTracepoint(proc, ReduceTaskDoneDef());
+}
+
+struct MapReduceRuntime::JobState {
+  std::string name;
+  MrConfig config;
+  uint64_t input_bytes = 0;
+  int map_tasks = 0;
+  int maps_done = 0;
+  int reduces_done = 0;
+  bool reduce_started = false;
+  uint64_t map_output_bytes = 0;  // Total intermediate data.
+  SimProcess* client = nullptr;
+  CtxPtr job_ctx;
+  std::vector<CtxPtr> finished_task_ctxs;
+  std::function<void(CtxPtr)> on_complete;
+  // Hosts that ran map tasks (shuffle sources), with output byte counts.
+  std::map<SimHost*, uint64_t> map_output_by_host;
+};
+
+MapReduceRuntime::MapReduceRuntime(SimWorld* world, YarnResourceManager* rm,
+                                   HdfsNameNode* namenode, uint64_t seed)
+    : world_(world), rm_(rm), namenode_(namenode), rng_(seed) {
+  for (YarnNodeManager* nm : rm->node_managers()) {
+    SimProcess* proc = world->AddProcess(nm->process()->host(), "MRTask");
+    task_runtimes_.push_back(std::make_unique<MrTaskRuntime>(proc, namenode, rng_.NextUint64()));
+  }
+}
+
+MrTaskRuntime* MapReduceRuntime::RuntimeOn(SimHost* host) {
+  for (const auto& rt : task_runtimes_) {
+    if (rt->process()->host() == host) {
+      return rt.get();
+    }
+  }
+  assert(false && "no task runtime on host");
+  return nullptr;
+}
+
+void MapReduceRuntime::SubmitJob(SimProcess* client, CtxPtr ctx, const std::string& name,
+                                 uint64_t input_bytes, const MrConfig& config,
+                                 std::function<void(CtxPtr)> on_complete) {
+  // Client-side protocol entry: the pack site for Q2-style queries.
+  Tracepoint* tp_client_protocols = GetOrDefineTracepoint(client, ClientProtocolsDef());
+  Tracepoint* tp_acp = GetOrDefineTracepoint(client, MrAppClientProtocolDef());
+  tp_client_protocols->Invoke(
+      ctx.get(), {{"procName", Value(client->name())}, {"system", Value("MapReduce")}});
+  tp_acp->Invoke(ctx.get(), {{"op", Value("submitJob")}, {"job", Value(name)}});
+
+  auto job = std::make_shared<JobState>();
+  job->name = name;
+  job->config = config;
+  job->input_bytes = input_bytes;
+  job->map_tasks = static_cast<int>((input_bytes + config.split_bytes - 1) / config.split_bytes);
+  job->client = client;
+  job->on_complete = std::move(on_complete);
+
+  // The job context stays with the client; each task runs on a forked branch
+  // whose baggage carries the packed client identity.
+  job->job_ctx = ctx;
+
+  for (int i = 0; i < job->map_tasks; ++i) {
+    YarnNodeManager* nm = rm_->NextNodeManager();
+    MrTaskRuntime* rt = RuntimeOn(nm->process()->host());
+    auto task_ctx = std::make_shared<ExecutionContext>(ctx->Fork());
+    world_->MoveContext(task_ctx, rt->process());
+    nm->LaunchContainer(name, task_ctx, [this, job, i, rt, task_ctx](std::function<void()> release) {
+      RunMapTask(job, i, rt, task_ctx, std::move(release));
+    });
+  }
+}
+
+void MapReduceRuntime::RunMapTask(const std::shared_ptr<JobState>& job, int task_index,
+                                  MrTaskRuntime* rt, CtxPtr ctx, std::function<void()> release) {
+  // 1. Read the input split from HDFS.
+  uint64_t file_id = rng_.NextBelow(namenode_->file_count());
+  uint64_t split = job->config.split_bytes;
+  rt->hdfs()->Read(
+      ctx, file_id, split,
+      [this, job, task_index, rt, split, release = std::move(release)](
+          CtxPtr c, HdfsClient::ReadResult) mutable {
+        // 2. Compute, then spill map output to local disk ("Map" category).
+        auto out_bytes = static_cast<uint64_t>(static_cast<double>(split) *
+                                               job->config.map_selectivity);
+        int64_t cpu = job->config.cpu_micros_per_mb * static_cast<int64_t>(split >> 20);
+        world_->env()->Schedule(cpu, [this, job, task_index, rt, out_bytes, c,
+                                      release = std::move(release)]() mutable {
+          rt->process()->host()->disk().Transfer(out_bytes, [this, job, task_index, rt, out_bytes,
+                                                             c, release = std::move(release)]() mutable {
+            rt->tp_fos()->Invoke(c.get(), {{"delta", Value(static_cast<int64_t>(out_bytes))},
+                                           {"category", Value("Map")}});
+            rt->tp_map_done()->Invoke(
+                c.get(), {{"job", Value(job->name)}, {"task", Value(int64_t{task_index})}});
+            job->map_output_bytes += out_bytes;
+            job->map_output_by_host[rt->process()->host()] += out_bytes;
+            job->finished_task_ctxs.push_back(c);
+            ++job->maps_done;
+            release();
+            MaybeStartReduce(job);
+          });
+        });
+      });
+}
+
+void MapReduceRuntime::MaybeStartReduce(const std::shared_ptr<JobState>& job) {
+  if (job->reduce_started || job->maps_done < job->map_tasks) {
+    return;
+  }
+  job->reduce_started = true;
+  for (int r = 0; r < job->config.reducers; ++r) {
+    YarnNodeManager* nm = rm_->NextNodeManager();
+    MrTaskRuntime* rt = RuntimeOn(nm->process()->host());
+    auto task_ctx = std::make_shared<ExecutionContext>(job->job_ctx->Fork());
+    world_->MoveContext(task_ctx, rt->process());
+    nm->LaunchContainer(job->name, task_ctx, [this, job, r, rt, task_ctx](std::function<void()> release) {
+      RunReduceTask(job, r, rt, task_ctx, std::move(release));
+    });
+  }
+}
+
+void MapReduceRuntime::RunReduceTask(const std::shared_ptr<JobState>& job, int task_index,
+                                     MrTaskRuntime* rt, CtxPtr ctx,
+                                     std::function<void()> release) {
+  // 1. Shuffle: fetch this reducer's share of every map host's output over
+  // the network, writing it to local disk ("Shuffle" category).
+  uint64_t shuffle_share =
+      job->map_output_bytes / static_cast<uint64_t>(job->config.reducers);
+  SimHost* reducer_host = rt->process()->host();
+
+  auto pending = std::make_shared<int>(0);
+  auto after_shuffle = std::make_shared<std::function<void()>>();
+
+  *after_shuffle = [this, job, task_index, rt, ctx, shuffle_share,
+                    release = std::move(release)]() mutable {
+    // 2. Merge-read shuffled data ("Reduce" category), compute, and write the
+    // output partition back to HDFS.
+    rt->process()->host()->disk().Transfer(shuffle_share, [this, job, task_index, rt, ctx,
+                                                           shuffle_share,
+                                                           release = std::move(release)]() mutable {
+      rt->tp_fis()->Invoke(ctx.get(), {{"delta", Value(static_cast<int64_t>(shuffle_share))},
+                                       {"category", Value("Reduce")}});
+      int64_t cpu = job->config.cpu_micros_per_mb * static_cast<int64_t>(shuffle_share >> 20);
+      world_->env()->Schedule(cpu, [this, job, task_index, rt, ctx, shuffle_share,
+                                    release = std::move(release)]() mutable {
+        rt->hdfs()->Write(ctx, shuffle_share, [this, job, task_index, rt,
+                                               release = std::move(release)](CtxPtr c) mutable {
+          rt->tp_reduce_done()->Invoke(
+              c.get(), {{"job", Value(job->name)}, {"task", Value(int64_t{task_index})}});
+          job->finished_task_ctxs.push_back(c);
+          ++job->reduces_done;
+          release();
+          MaybeComplete(job);
+        });
+      });
+    });
+  };
+
+  if (job->map_output_by_host.empty()) {
+    (*after_shuffle)();
+    return;
+  }
+  for (const auto& [map_host, host_output] : job->map_output_by_host) {
+    uint64_t fetch = host_output / static_cast<uint64_t>(job->config.reducers);
+    if (fetch == 0) {
+      continue;
+    }
+    ++*pending;
+    // Read map output from the map host's disk ("Shuffle" source), cross the
+    // network (skipped for local fetches), write to the reducer's disk.
+    MrTaskRuntime* src_rt = RuntimeOn(map_host);
+    auto finish_one = [this, pending, after_shuffle, rt, ctx, fetch]() {
+      rt->process()->host()->disk().Transfer(fetch, [this, pending, after_shuffle, rt, ctx,
+                                                     fetch]() {
+        rt->tp_fos()->Invoke(ctx.get(), {{"delta", Value(static_cast<int64_t>(fetch))},
+                                         {"category", Value("Shuffle")}});
+        if (--*pending == 0) {
+          (*after_shuffle)();
+        }
+      });
+    };
+    map_host->disk().Transfer(fetch, [this, src_rt, ctx, fetch, map_host, reducer_host,
+                                      finish_one = std::move(finish_one)]() mutable {
+      src_rt->tp_fis()->Invoke(ctx.get(), {{"delta", Value(static_cast<int64_t>(fetch))},
+                                           {"category", Value("Shuffle")}});
+      if (map_host == reducer_host) {
+        finish_one();
+        return;
+      }
+      map_host->nic_out().Transfer(fetch, [reducer_host, fetch,
+                                           finish_one = std::move(finish_one)]() mutable {
+        reducer_host->nic_in().Transfer(fetch, std::move(finish_one));
+      });
+    });
+  }
+  if (*pending == 0) {
+    (*after_shuffle)();
+  }
+}
+
+void MapReduceRuntime::MaybeComplete(const std::shared_ptr<JobState>& job) {
+  if (job->reduces_done < job->config.reducers) {
+    return;
+  }
+  // Rejoin every task branch into the job context, then fire JobComplete at
+  // the client.
+  world_->MoveContext(job->job_ctx, job->client);
+  for (auto& task_ctx : job->finished_task_ctxs) {
+    job->job_ctx->Join(std::move(*task_ctx));
+  }
+  job->finished_task_ctxs.clear();
+  Tracepoint* tp_done = GetOrDefineTracepoint(job->client, JobCompleteDef());
+  tp_done->Invoke(job->job_ctx.get(), {{"id", Value(job->name)}});
+  if (job->on_complete) {
+    job->on_complete(job->job_ctx);
+  }
+}
+
+}  // namespace pivot

@@ -1,0 +1,142 @@
+#include "src/hadoop/tracepoints.h"
+
+namespace pivot {
+
+Tracepoint* GetOrDefineTracepoint(SimProcess* proc, TracepointDef def) {
+  if (Tracepoint* existing = proc->registry()->Find(def.name)) {
+    return existing;
+  }
+  return proc->DefineTracepoint(std::move(def));
+}
+
+void RegisterHadoopTracepointDefs(TracepointRegistry* schema) {
+  for (const TracepointDef& def :
+       {ClientProtocolsDef(), NnGetBlockLocationsDef(), NnClientProtocolDef(),
+        NnClientProtocolDoneDef(), DnDataTransferProtocolDef(), DnTransferDoneDef(),
+        IncrBytesReadDef(),
+        IncrBytesWrittenDef(), FileInputStreamReadDef(), FileOutputStreamWriteDef(),
+        StressTestDoNextOpDef(), HbaseClientServiceDef(), RsQueueDoneDef(), RsProcessDoneDef(),
+        RsMemstoreFlushDef(), HbaseRequestSentDef(), HbaseResponseReceivedDef(),
+        MrAppClientProtocolDef(),
+        JobCompleteDef(), YarnContainerStartDef(), MapTaskDoneDef(), ReduceTaskDoneDef()}) {
+    if (schema->Find(def.name) == nullptr) {
+      Result<Tracepoint*> result = schema->Define(def);
+      (void)result;
+    }
+  }
+}
+
+namespace {
+
+TracepointDef Make(const char* name, std::vector<std::string> exports, const char* class_name,
+                   const char* method, TracepointSite site = TracepointSite::kEntry) {
+  TracepointDef def;
+  def.name = name;
+  def.exports = std::move(exports);
+  def.class_name = class_name;
+  def.method_name = method;
+  def.site = site;
+  return def;
+}
+
+}  // namespace
+
+TracepointDef ClientProtocolsDef() {
+  // The union of the client protocol entry points of HDFS
+  // (DataTransferProtocol), HBase (ClientService) and MapReduce
+  // (ApplicationClientProtocol) — the pack site of Q2.
+  return Make(kTpClientProtocols, {"procName", "system"}, "ClientProtocols", "*",
+              TracepointSite::kEntry);
+}
+
+TracepointDef NnGetBlockLocationsDef() {
+  return Make(kTpNnGetBlockLocations, {"src", "replicas"}, "NameNodeRpcServer",
+              "getBlockLocations");
+}
+
+TracepointDef NnClientProtocolDef() {
+  return Make(kTpNnClientProtocol, {"op", "src"}, "NameNodeRpcServer", "*");
+}
+
+TracepointDef NnClientProtocolDoneDef() {
+  return Make(kTpNnClientProtocolDone, {"op", "lockwait"}, "NameNodeRpcServer", "*",
+              TracepointSite::kExit);
+}
+
+TracepointDef DnDataTransferProtocolDef() {
+  return Make(kTpDnDataTransferProtocol, {"op", "src"}, "DataXceiver", "*");
+}
+
+TracepointDef DnTransferDoneDef() {
+  return Make(kTpDnTransferDone, {"op", "transfer", "blocked", "gc"}, "DataXceiver", "*",
+              TracepointSite::kExit);
+}
+
+TracepointDef IncrBytesReadDef() {
+  return Make(kTpIncrBytesRead, {"delta"}, "DataNodeMetrics", "incrBytesRead");
+}
+
+TracepointDef IncrBytesWrittenDef() {
+  return Make(kTpIncrBytesWritten, {"delta"}, "DataNodeMetrics", "incrBytesWritten");
+}
+
+TracepointDef FileInputStreamReadDef() {
+  return Make(kTpFileInputStreamRead, {"delta", "category"}, "java.io.FileInputStream", "read",
+              TracepointSite::kExit);
+}
+
+TracepointDef FileOutputStreamWriteDef() {
+  return Make(kTpFileOutputStreamWrite, {"delta", "category"}, "java.io.FileOutputStream",
+              "write", TracepointSite::kExit);
+}
+
+TracepointDef StressTestDoNextOpDef() {
+  return Make(kTpStressTestDoNextOp, {"op"}, "StressTest", "doNextOp");
+}
+
+TracepointDef HbaseClientServiceDef() {
+  return Make(kTpHbaseClientService, {"op", "row"}, "RSRpcServices", "*");
+}
+
+TracepointDef RsQueueDoneDef() {
+  return Make(kTpRsQueueDone, {"queue"}, "RpcExecutor", "dequeue", TracepointSite::kExit);
+}
+
+TracepointDef RsProcessDoneDef() {
+  return Make(kTpRsProcessDone, {"process"}, "RSRpcServices", "*", TracepointSite::kExit);
+}
+
+TracepointDef RsMemstoreFlushDef() {
+  return Make(kTpRsMemstoreFlush, {"bytes"}, "HRegion", "internalFlushcache");
+}
+
+TracepointDef HbaseRequestSentDef() {
+  return Make(kTpHbaseRequestSent, {"op"}, "HTable", "*", TracepointSite::kEntry);
+}
+
+TracepointDef HbaseResponseReceivedDef() {
+  return Make(kTpHbaseResponseReceived, {"op"}, "HTable", "*", TracepointSite::kExit);
+}
+
+TracepointDef MrAppClientProtocolDef() {
+  return Make(kTpMrAppClientProtocol, {"op", "job"}, "MRClientService", "*");
+}
+
+TracepointDef JobCompleteDef() {
+  return Make(kTpJobComplete, {"id"}, "JobImpl", "completed", TracepointSite::kExit);
+}
+
+TracepointDef YarnContainerStartDef() {
+  return Make(kTpYarnContainerStart, {"container", "job"}, "ContainerManagerImpl",
+              "startContainer");
+}
+
+TracepointDef MapTaskDoneDef() {
+  return Make(kTpMapTaskDone, {"job", "task"}, "MapTask", "run", TracepointSite::kExit);
+}
+
+TracepointDef ReduceTaskDoneDef() {
+  return Make(kTpReduceTaskDone, {"job", "task"}, "ReduceTask", "run", TracepointSite::kExit);
+}
+
+}  // namespace pivot

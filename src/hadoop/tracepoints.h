@@ -1,0 +1,79 @@
+// Canonical tracepoint definitions for the simulated Hadoop stack.
+//
+// Tracepoint definitions "are defined by someone with knowledge of the
+// system ... and define the vocabulary for queries" (§2.2). This header is
+// that someone: one source of truth for every tracepoint name and export
+// list, shared by the system code that fires them and by the docs/benches
+// that query them.
+
+#ifndef PIVOT_SRC_HADOOP_TRACEPOINTS_H_
+#define PIVOT_SRC_HADOOP_TRACEPOINTS_H_
+
+#include "src/core/tracepoint.h"
+#include "src/simsys/sim_world.h"
+
+namespace pivot {
+
+// Names (query-facing vocabulary).
+inline constexpr char kTpClientProtocols[] = "ClientProtocols";
+inline constexpr char kTpNnGetBlockLocations[] = "NN.GetBlockLocations";
+inline constexpr char kTpNnClientProtocol[] = "NN.ClientProtocol";
+inline constexpr char kTpNnClientProtocolDone[] = "NN.ClientProtocol.done";
+inline constexpr char kTpDnDataTransferProtocol[] = "DN.DataTransferProtocol";
+inline constexpr char kTpDnTransferDone[] = "DN.DataTransferProtocol.done";
+inline constexpr char kTpIncrBytesRead[] = "DataNodeMetrics.incrBytesRead";
+inline constexpr char kTpIncrBytesWritten[] = "DataNodeMetrics.incrBytesWritten";
+inline constexpr char kTpFileInputStreamRead[] = "FileInputStream.read";
+inline constexpr char kTpFileOutputStreamWrite[] = "FileOutputStream.write";
+inline constexpr char kTpStressTestDoNextOp[] = "StressTest.DoNextOp";
+inline constexpr char kTpHbaseClientService[] = "HBase.ClientService";
+inline constexpr char kTpRsQueueDone[] = "RS.QueueDone";
+inline constexpr char kTpRsProcessDone[] = "RS.ProcessDone";
+inline constexpr char kTpRsMemstoreFlush[] = "RS.MemstoreFlush";
+inline constexpr char kTpHbaseRequestSent[] = "HBase.RequestSent";
+inline constexpr char kTpHbaseResponseReceived[] = "HBase.ResponseReceived";
+inline constexpr char kTpMrAppClientProtocol[] = "MR.ApplicationClientProtocol";
+inline constexpr char kTpJobComplete[] = "MR.JobComplete";
+inline constexpr char kTpYarnContainerStart[] = "YARN.ContainerStart";
+inline constexpr char kTpMapTaskDone[] = "MR.MapTaskDone";
+inline constexpr char kTpReduceTaskDone[] = "MR.ReduceTaskDone";
+
+// Returns the process-local tracepoint with `def`'s name, defining it if this
+// process has not yet (several subsystems embedded in one process may share
+// tracepoints, e.g. ClientProtocols).
+Tracepoint* GetOrDefineTracepoint(SimProcess* proc, TracepointDef def);
+
+// Registers the whole Hadoop tracepoint vocabulary into `schema` (skipping
+// names already present). Tracepoint definitions exist independently of live
+// processes — "they can be defined and installed at any point in time, and
+// can be shared and disseminated" (§2.2) — so the cluster registers them all
+// upfront and queries validate even before the firing process starts.
+void RegisterHadoopTracepointDefs(TracepointRegistry* schema);
+
+// Definition builders (name + exports + descriptive location metadata).
+TracepointDef ClientProtocolsDef();           // exports procName, system
+TracepointDef NnGetBlockLocationsDef();       // exports src, replicas
+TracepointDef NnClientProtocolDef();          // exports op, src
+TracepointDef NnClientProtocolDoneDef();      // exports op, lockwait
+TracepointDef DnDataTransferProtocolDef();    // exports op, src
+TracepointDef DnTransferDoneDef();            // exports op, transfer, blocked, gc
+TracepointDef IncrBytesReadDef();             // exports delta
+TracepointDef IncrBytesWrittenDef();          // exports delta
+TracepointDef FileInputStreamReadDef();       // exports delta, category
+TracepointDef FileOutputStreamWriteDef();     // exports delta, category
+TracepointDef StressTestDoNextOpDef();        // exports op
+TracepointDef HbaseClientServiceDef();        // exports op, row
+TracepointDef RsQueueDoneDef();               // exports queue
+TracepointDef RsProcessDoneDef();             // exports process
+TracepointDef RsMemstoreFlushDef();           // exports bytes
+TracepointDef HbaseRequestSentDef();          // exports op
+TracepointDef HbaseResponseReceivedDef();     // exports op
+TracepointDef MrAppClientProtocolDef();       // exports op, job
+TracepointDef JobCompleteDef();               // exports id
+TracepointDef YarnContainerStartDef();        // exports container, job
+TracepointDef MapTaskDoneDef();               // exports job, task
+TracepointDef ReduceTaskDoneDef();            // exports job, task
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_HADOOP_TRACEPOINTS_H_

@@ -1,0 +1,151 @@
+#include "src/hadoop/workloads.h"
+
+#include "src/hadoop/tracepoints.h"
+
+namespace pivot {
+
+// ---------------------------------------------------------------------------
+// HdfsReadWorkload
+
+HdfsReadWorkload::HdfsReadWorkload(SimProcess* proc, HdfsNameNode* namenode, uint64_t read_bytes,
+                                   int64_t think_micros, bool stress_test, uint64_t seed)
+    : proc_(proc),
+      client_(proc, namenode, seed),
+      read_bytes_(read_bytes),
+      think_micros_(think_micros),
+      rng_(seed ^ 0xD1B54A32D192ED03ULL),
+      stats_(proc->world()->env()) {
+  if (stress_test) {
+    tp_do_next_op_ = GetOrDefineTracepoint(proc, StressTestDoNextOpDef());
+  }
+}
+
+void HdfsReadWorkload::Start(int64_t stop_at_micros) {
+  stop_at_ = stop_at_micros;
+  // Random start offset desynchronizes the closed loops.
+  proc_->world()->env()->Schedule(rng_.NextInt(0, 10 * kMicrosPerMilli), [this] { DoOp(); });
+}
+
+void HdfsReadWorkload::DoOp() {
+  SimWorld* world = proc_->world();
+  if (world->env()->now_micros() >= stop_at_) {
+    return;
+  }
+  CtxPtr ctx = world->NewRequest(proc_);
+  if (tp_do_next_op_ != nullptr) {
+    tp_do_next_op_->Invoke(ctx.get(), {{"op", Value("read")}});
+  }
+  uint64_t file_id = rng_.NextBelow(client_.namenode()->file_count());
+  client_.Read(ctx, file_id, read_bytes_, [this](CtxPtr, HdfsClient::ReadResult result) {
+    SimEnvironment* env = proc_->world()->env();
+    stats_.Record(env->now_micros(), result.latency_micros);
+    env->Schedule(think_micros_, [this] { DoOp(); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// HbaseWorkload
+
+HbaseWorkload::HbaseWorkload(SimProcess* proc, std::vector<HbaseRegionServer*> servers, Op op,
+                             int64_t think_micros, uint64_t seed)
+    : proc_(proc),
+      client_(proc, std::move(servers), seed),
+      op_(op),
+      think_micros_(think_micros),
+      rng_(seed ^ 0xA24BAED4963EE407ULL),
+      stats_(proc->world()->env()) {}
+
+void HbaseWorkload::Start(int64_t stop_at_micros) {
+  stop_at_ = stop_at_micros;
+  proc_->world()->env()->Schedule(rng_.NextInt(0, 10 * kMicrosPerMilli), [this] { DoOp(); });
+}
+
+void HbaseWorkload::DoOp() {
+  SimWorld* world = proc_->world();
+  if (world->env()->now_micros() >= stop_at_) {
+    return;
+  }
+  CtxPtr ctx = world->NewRequest(proc_);
+  auto done = [this](CtxPtr, HbaseClient::RequestResult result) {
+    SimEnvironment* env = proc_->world()->env();
+    stats_.Record(env->now_micros(), result.latency_micros);
+    env->Schedule(think_micros_, [this] { DoOp(); });
+  };
+  switch (op_) {
+    case Op::kScan:
+      client_.Scan(std::move(ctx), std::move(done));
+      break;
+    case Op::kPut:
+      client_.Put(std::move(ctx), std::move(done));
+      break;
+    case Op::kGet:
+      client_.Get(std::move(ctx), std::move(done));
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MapReduceWorkload
+
+MapReduceWorkload::MapReduceWorkload(SimProcess* client, MapReduceRuntime* runtime,
+                                     std::string job_name, uint64_t input_bytes, MrConfig config)
+    : client_(client),
+      runtime_(runtime),
+      job_name_(std::move(job_name)),
+      input_bytes_(input_bytes),
+      config_(config),
+      stats_(client->world()->env()) {}
+
+void MapReduceWorkload::Start(int64_t stop_at_micros) {
+  stop_at_ = stop_at_micros;
+  // Defer through the event queue so jobs submitted "now" still run after
+  // anything else scheduled at the current instant (e.g. query installs).
+  client_->world()->env()->Schedule(0, [this] { SubmitNext(); });
+}
+
+void MapReduceWorkload::SubmitNext() {
+  SimWorld* world = client_->world();
+  if (world->env()->now_micros() >= stop_at_) {
+    return;
+  }
+  CtxPtr ctx = world->NewRequest(client_);
+  int64_t start = world->env()->now_micros();
+  runtime_->SubmitJob(client_, ctx, job_name_, input_bytes_, config_, [this, start](CtxPtr) {
+    SimEnvironment* env = client_->world()->env();
+    stats_.Record(env->now_micros(), env->now_micros() - start);
+    ++jobs_completed_;
+    env->Schedule(kMicrosPerSecond, [this] { SubmitNext(); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MetadataWorkload
+
+MetadataWorkload::MetadataWorkload(SimProcess* proc, HdfsNameNode* namenode, std::string op,
+                                   int64_t think_micros, uint64_t seed)
+    : proc_(proc),
+      client_(proc, namenode, seed),
+      op_(std::move(op)),
+      think_micros_(think_micros),
+      stats_(proc->world()->env()) {}
+
+void MetadataWorkload::Start(int64_t stop_at_micros) {
+  stop_at_ = stop_at_micros;
+  proc_->world()->env()->Schedule(0, [this] { DoOp(); });
+}
+
+void MetadataWorkload::DoOp() {
+  SimWorld* world = proc_->world();
+  if (world->env()->now_micros() >= stop_at_) {
+    return;
+  }
+  CtxPtr ctx = world->NewRequest(proc_);
+  int64_t start = world->env()->now_micros();
+  client_.MetadataOp(std::move(ctx), op_, [this, start](CtxPtr) {
+    SimEnvironment* env = proc_->world()->env();
+    stats_.Record(env->now_micros(), env->now_micros() - start);
+    env->Schedule(think_micros_, [this] { DoOp(); });
+  });
+}
+
+}  // namespace pivot

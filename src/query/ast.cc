@@ -1,0 +1,89 @@
+#include "src/query/ast.h"
+
+#include <cstdio>
+
+namespace pivot {
+
+namespace {
+
+std::string SourceToString(const SourceRef& s) {
+  std::string inner;
+  if (s.is_subquery()) {
+    inner = s.subquery;
+  } else {
+    for (size_t i = 0; i < s.tracepoints.size(); ++i) {
+      if (i != 0) {
+        inner += ", ";
+      }
+      inner += s.tracepoints[i];
+    }
+  }
+  switch (s.temporal) {
+    case TemporalFilter::kAll:
+      break;
+    case TemporalFilter::kFirst:
+      inner = "First(" + inner + ")";
+      break;
+    case TemporalFilter::kFirstN:
+      inner = "FirstN(" + std::to_string(s.n) + ", " + inner + ")";
+      break;
+    case TemporalFilter::kMostRecent:
+      inner = "MostRecent(" + inner + ")";
+      break;
+    case TemporalFilter::kMostRecentN:
+      inner = "MostRecentN(" + std::to_string(s.n) + ", " + inner + ")";
+      break;
+  }
+  if (s.sample_rate < 1.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", s.sample_rate);
+    inner = "Sample(" + std::string(buf) + ", " + inner + ")";
+  }
+  return inner;
+}
+
+}  // namespace
+
+std::string QueryToString(const Query& q) {
+  std::string out = "From " + q.from.alias + " In " + SourceToString(q.from);
+  for (const auto& j : q.joins) {
+    out += "\nJoin " + j.source.alias + " In " + SourceToString(j.source) + " On " + j.left +
+           " -> " + j.right;
+  }
+  for (const auto& w : q.where) {
+    out += "\nWhere " + w->ToString();
+  }
+  if (!q.group_by.empty()) {
+    out += "\nGroupBy ";
+    for (size_t i = 0; i < q.group_by.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += q.group_by[i];
+    }
+  }
+  if (!q.select.empty()) {
+    out += "\nSelect ";
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      const SelectItem& item = q.select[i];
+      if (item.is_aggregate) {
+        if (item.fn == AggFn::kCount && item.expr == nullptr) {
+          out += "COUNT";
+        } else {
+          out += std::string(AggFnName(item.fn)) + "(" + item.expr->ToString() + ")";
+        }
+      } else {
+        out += item.expr->ToString();
+      }
+      if (item.has_explicit_alias) {
+        out += " As " + item.display;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pivot

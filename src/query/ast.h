@@ -1,0 +1,98 @@
+// Abstract syntax of the Pivot Tracing query language (Table 1).
+//
+// Queries are LINQ-like text such as Q2 from the paper:
+//
+//   From incr In DataNodeMetrics.incrBytesRead
+//   Join cl In First(ClientProtocols) On cl -> incr
+//   GroupBy cl.procName
+//   Select cl.procName, SUM(incr.delta)
+//
+// The parser (parser.h) produces this AST; the compiler (compiler.h) lowers
+// it to advice.
+
+#ifndef PIVOT_SRC_QUERY_AST_H_
+#define PIVOT_SRC_QUERY_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/aggregation.h"
+#include "src/core/expr.h"
+
+namespace pivot {
+
+// Temporal filters restrict which of a source's tuples participate in a
+// happened-before join (Table 1: First, FirstN, MostRecent, MostRecentN).
+enum class TemporalFilter : uint8_t {
+  kAll = 0,
+  kFirst,
+  kFirstN,
+  kMostRecent,
+  kMostRecentN,
+};
+
+// One data source: a set of tracepoints (>1 means Union, Table 1) or a named
+// subquery (Q9 joins the output of Q8), optionally wrapped in a temporal
+// filter.
+struct SourceRef {
+  std::string alias;                       // The In-scope name, e.g. "incr".
+  std::vector<std::string> tracepoints;    // Union of tracepoint names...
+  std::string subquery;                    // ...or a registered query's name.
+  TemporalFilter temporal = TemporalFilter::kAll;
+  uint32_t n = 1;                          // For kFirstN / kMostRecentN.
+
+  // Advice-level sampling (§8): the source's advice proceeds for this
+  // fraction of invocations. Written `Sample(10, X)` (integer = percent) or
+  // `Sample(0.1, X)` (fraction); composable with temporal filters, e.g.
+  // `Sample(5, First(X))`.
+  double sample_rate = 1.0;
+
+  bool is_subquery() const { return !subquery.empty(); }
+};
+
+// `Join <source.alias> In <source> On <left> -> <right>`: every tuple of
+// `left` joined must happen-before the `right` tuple (Lamport ≺, §3).
+struct JoinClause {
+  SourceRef source;
+  std::string left;   // Alias that happens earlier.
+  std::string right;  // Alias that happens later.
+};
+
+// One item of the Select clause: either a plain expression (projection,
+// possibly computed — Q8's `response.time - request.time`) or an aggregate
+// over an expression (COUNT takes no argument).
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFn fn = AggFn::kCount;  // Valid when is_aggregate.
+  Expr::Ptr expr;            // Aggregate argument / projected expression. Null for COUNT.
+  std::string display;       // Output column name ("SUM(incr.delta)" or the As-alias).
+
+  bool has_explicit_alias = false;
+};
+
+// A parsed query.
+struct Query {
+  SourceRef from;
+  std::vector<JoinClause> joins;
+  std::vector<Expr::Ptr> where;        // Conjunction of Where clauses.
+  std::vector<std::string> group_by;   // Qualified field names ("cl.procName").
+  std::vector<SelectItem> select;      // Empty Select = project all observed.
+  std::string text;                    // Original query text (diagnostics).
+
+  bool has_aggregates() const {
+    for (const auto& s : select) {
+      if (s.is_aggregate) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Canonical re-rendering of the AST (round-trip tested against the parser).
+std::string QueryToString(const Query& q);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_QUERY_AST_H_

@@ -1,0 +1,151 @@
+#include "src/query/flatten.h"
+
+#include <set>
+
+#include "src/query/compiler.h"
+
+namespace pivot {
+
+Expr::Ptr RewriteFieldRefs(const Expr::Ptr& e,
+                           const std::function<std::string(const std::string&)>& rename) {
+  switch (e->op()) {
+    case ExprOp::kLiteral:
+      return e;
+    case ExprOp::kField:
+      return Expr::Field(rename(e->field_name()));
+    case ExprOp::kNot:
+    case ExprOp::kNeg:
+      return Expr::Unary(e->op(), RewriteFieldRefs(e->lhs(), rename));
+    default:
+      return Expr::Binary(e->op(), RewriteFieldRefs(e->lhs(), rename),
+                          RewriteFieldRefs(e->rhs(), rename));
+  }
+}
+
+namespace {
+
+// Resolves a join source to a registered named query. The parser cannot tell
+// a subquery reference from a tracepoint name (both are bare identifiers), so
+// resolution happens here: a single-name source matching a registered query
+// is a subquery join; registered query names take precedence over same-named
+// tracepoints.
+const Query* ResolveSubquery(const SourceRef& src, const QueryRegistry* named_queries) {
+  if (named_queries == nullptr) {
+    return nullptr;
+  }
+  if (src.is_subquery()) {
+    return named_queries->Find(src.subquery);
+  }
+  if (src.tracepoints.size() == 1) {
+    return named_queries->Find(src.tracepoints[0]);
+  }
+  return nullptr;
+}
+
+// Prefixes "a.x" -> "<outer>$a.x" when "a" is one of the subquery's aliases.
+std::string RenameQualified(const std::string& field, const std::string& outer_alias,
+                            const std::set<std::string>& sub_aliases) {
+  size_t dot = field.find('.');
+  if (dot == std::string::npos) {
+    return field;
+  }
+  std::string alias = field.substr(0, dot);
+  if (sub_aliases.count(alias) == 0) {
+    return field;
+  }
+  return outer_alias + "$" + field;
+}
+
+// Splices `join` (whose source is the named subquery `sub`) into `out`.
+Status InlineSubquery(FlatQuery* out, const JoinClause& join, const Query& sub,
+                      const QueryRegistry* named_queries, int depth) {
+  if (sub.has_aggregates() || !sub.group_by.empty()) {
+    return UnimplementedError("joined subqueries with aggregation are not supported: " +
+                              join.source.alias);
+  }
+  if (sub.select.empty()) {
+    return InvalidArgumentError("joined subquery has no Select outputs: " + join.source.alias);
+  }
+
+  std::set<std::string> sub_aliases;
+  sub_aliases.insert(sub.from.alias);
+  for (const auto& j : sub.joins) {
+    sub_aliases.insert(j.source.alias);
+  }
+  const std::string& outer = join.source.alias;
+  auto rename = [&](const std::string& f) { return RenameQualified(f, outer, sub_aliases); };
+  auto rename_alias = [&](const std::string& a) {
+    return sub_aliases.count(a) != 0 ? outer + "$" + a : a;
+  };
+
+  // The subquery's From source joins the outer query directly, inheriting the
+  // outer join's temporal filter (First(Q8) keeps the first Q8 output, which
+  // is produced at Q8's From stage).
+  JoinClause spliced_from;
+  spliced_from.source = sub.from;
+  spliced_from.source.alias = rename_alias(sub.from.alias);
+  spliced_from.source.temporal = join.source.temporal;
+  spliced_from.source.n = join.source.n;
+  spliced_from.left = spliced_from.source.alias;
+  spliced_from.right = join.right;
+  if (ResolveSubquery(sub.from, named_queries) != nullptr) {
+    return UnimplementedError("subquery whose From is itself a subquery");
+  }
+  out->joins.push_back(std::move(spliced_from));
+
+  for (const auto& j : sub.joins) {
+    JoinClause renamed = j;
+    renamed.source.alias = rename_alias(j.source.alias);
+    renamed.left = rename_alias(j.left);
+    renamed.right = rename_alias(j.right);
+    if (const Query* nested = ResolveSubquery(j.source, named_queries)) {
+      if (depth > 8) {
+        return InvalidArgumentError("subquery nesting too deep");
+      }
+      PIVOT_RETURN_IF_ERROR(InlineSubquery(out, renamed, *nested, named_queries, depth + 1));
+      continue;
+    }
+    out->joins.push_back(std::move(renamed));
+  }
+
+  for (const auto& w : sub.where) {
+    out->where.push_back(RewriteFieldRefs(w, rename));
+  }
+
+  // Select outputs become computed columns at the subquery's From stage. A
+  // single output is addressable by the bare outer alias; multiple outputs as
+  // "<outer>.<display>".
+  for (const auto& item : sub.select) {
+    LetBinding let;
+    let.alias = rename_alias(sub.from.alias);
+    let.name = sub.select.size() == 1 ? outer : outer + "." + item.display;
+    let.expr = RewriteFieldRefs(item.expr, rename);
+    out->lets.push_back(std::move(let));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FlattenQuery(const Query& q, const QueryRegistry* named_queries, FlatQuery* out) {
+  if (ResolveSubquery(q.from, named_queries) != nullptr) {
+    return UnimplementedError("the From source cannot be a subquery");
+  }
+  out->from = q.from;
+  out->where.insert(out->where.end(), q.where.begin(), q.where.end());
+  out->group_by = q.group_by;
+  out->select = q.select;
+  for (const auto& j : q.joins) {
+    if (const Query* sub = ResolveSubquery(j.source, named_queries)) {
+      PIVOT_RETURN_IF_ERROR(InlineSubquery(out, j, *sub, named_queries, 0));
+      continue;
+    }
+    if (j.source.is_subquery()) {
+      return NotFoundError("unknown subquery: " + j.source.subquery);
+    }
+    out->joins.push_back(j);
+  }
+  return Status::Ok();
+}
+
+}  // namespace pivot

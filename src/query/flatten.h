@@ -1,0 +1,49 @@
+// Internal: subquery inlining shared by the compiler and the naive evaluator.
+//
+// A joined subquery (Q9 joining Q8) is flattened into the outer query: the
+// subquery's sources/joins/wheres are spliced in under renamed aliases
+// ("<outer>$<inner>"), and its Select outputs become computed columns
+// (LetBindings) at the subquery's From stage, named after the outer alias.
+
+#ifndef PIVOT_SRC_QUERY_FLATTEN_H_
+#define PIVOT_SRC_QUERY_FLATTEN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/ast.h"
+
+namespace pivot {
+
+class QueryRegistry;
+
+// A computed column bound to one source's stage.
+struct LetBinding {
+  std::string alias;  // Stage the column is computed at.
+  std::string name;   // Output column name (e.g. "latencyMeasurement").
+  Expr::Ptr expr;
+};
+
+// Query with subqueries inlined; the compiler-internal form.
+struct FlatQuery {
+  SourceRef from;
+  std::vector<JoinClause> joins;
+  std::vector<Expr::Ptr> where;
+  std::vector<std::string> group_by;
+  std::vector<SelectItem> select;
+  std::vector<LetBinding> lets;
+};
+
+// Rebuilds `e` with every field reference renamed through `rename`.
+Expr::Ptr RewriteFieldRefs(const Expr::Ptr& e,
+                           const std::function<std::string(const std::string&)>& rename);
+
+// Flattens `q`, resolving subquery joins against `named_queries` (nullable
+// when `q` has no subquery joins).
+Status FlattenQuery(const Query& q, const QueryRegistry* named_queries, FlatQuery* out);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_QUERY_FLATTEN_H_

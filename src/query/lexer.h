@@ -1,0 +1,61 @@
+// Tokenizer for the Pivot Tracing query language.
+//
+// Keywords are case-insensitive (the paper renders them in mixed case: From,
+// GroupBy, SUM, ...). Identifiers may be dotted ("DN.DataTransferProtocol",
+// "st.host"); the lexer emits the pieces and the parser assembles qualified
+// names, because whether a dotted name is a tracepoint or alias.field is
+// contextual.
+
+#ifndef PIVOT_SRC_QUERY_LEXER_H_
+#define PIVOT_SRC_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pivot {
+
+enum class TokenKind : uint8_t {
+  kIdent,      // foo (keywords are classified by the parser)
+  kInt,        // 42
+  kDouble,     // 4.5
+  kString,     // "..." or '...'
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kArrow,      // ->
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,         // ==
+  kNe,         // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,        // &&
+  kOr,         // ||
+  kBang,       // !
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;     // Identifier / string contents.
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;    // Byte offset in the query text (error messages).
+};
+
+// Tokenizes `text`. On error returns the offending position in the message.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_QUERY_LEXER_H_

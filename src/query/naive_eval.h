@@ -1,0 +1,47 @@
+// Naive (global) evaluation of Pivot Tracing queries — the unoptimized
+// strategy of Fig 6a.
+//
+// Instead of evaluating `->⋈` inline via baggage, this evaluator takes the
+// complete record of everything every tracepoint observed (TraceRecorder) and
+// computes the happened-before join as a θ-join over the recorded execution
+// DAGs. This is exactly the strategy the paper attributes to Magpie-style
+// temporal joins: all tuples must be aggregated globally before the join.
+//
+// Uses:
+//  * ground truth for the property-based equivalence tests (optimized inline
+//    evaluation must produce identical results);
+//  * the baseline side of the tuple-traffic ablation bench (how many tuples
+//    would cross machine boundaries without baggage).
+
+#ifndef PIVOT_SRC_QUERY_NAIVE_EVAL_H_
+#define PIVOT_SRC_QUERY_NAIVE_EVAL_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/trace_graph.h"
+#include "src/core/tuple.h"
+#include "src/query/ast.h"
+
+namespace pivot {
+
+class QueryRegistry;
+
+struct NaiveResult {
+  // Final result rows (grouped aggregates, or streaming select rows).
+  std::vector<Tuple> rows;
+  // Number of observed tuples that would have to be shipped for global
+  // evaluation (every invocation of every tracepoint any stage listens to).
+  size_t tuples_shipped = 0;
+  // Number of joined rows produced before aggregation.
+  size_t join_rows = 0;
+};
+
+// Evaluates `q` against everything `recorder` observed. `named_queries`
+// resolves subquery joins (nullable when unused).
+Result<NaiveResult> EvaluateNaive(const Query& q, const TraceRecorder& recorder,
+                                  const QueryRegistry* named_queries);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_QUERY_NAIVE_EVAL_H_

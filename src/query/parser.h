@@ -1,0 +1,38 @@
+// Recursive-descent parser for the Pivot Tracing query language.
+//
+// Grammar (keywords case-insensitive):
+//
+//   query    := "From" ident "In" sources
+//               ("Join" ident "In" sources "On" ident "->" ident)*
+//               ("Where" expr)*
+//               ("GroupBy" field ("," field)*)?
+//               ("Select" selitem ("," selitem)*)?
+//   sources  := source ("," source)*            // >1 = Union (From only)
+//   source   := dotted
+//             | ("First"|"MostRecent") "(" dotted ")"
+//             | ("FirstN"|"MostRecentN") "(" int "," dotted ")"
+//   selitem  := "COUNT"
+//             | aggfn "(" expr ")" ("As" ident)?
+//             | expr ("As" ident)?
+//   aggfn    := "SUM" | "MIN" | "MAX" | "AVERAGE" | "AVG" | "COUNT"
+//   expr     := usual precedence: || , && , ==/!= , < <= > >= , + - , * / % ,
+//               unary ! - , primary (number | string | field | "(" expr ")")
+//   field    := ident ("." ident)*
+//   dotted   := ident ("." ident)*
+
+#ifndef PIVOT_SRC_QUERY_PARSER_H_
+#define PIVOT_SRC_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/query/ast.h"
+
+namespace pivot {
+
+// Parses a query; error messages include the byte offset of the problem.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_QUERY_PARSER_H_

@@ -1,0 +1,46 @@
+#include "src/simsys/sim_env.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pivot {
+
+void SimEnvironment::ScheduleAt(int64_t time_micros, std::function<void()> fn) {
+  if (time_micros < now_) {
+    time_micros = now_;
+  }
+  queue_.push(Event{time_micros, next_seq_++, std::move(fn)});
+}
+
+bool SimEnvironment::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; the function object must be moved out via
+  // const_cast (standard idiom; the element is popped immediately after).
+  Event& top = const_cast<Event&>(queue_.top());
+  int64_t time = top.time;
+  std::function<void()> fn = std::move(top.fn);
+  queue_.pop();
+  assert(time >= now_);
+  now_ = time;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void SimEnvironment::RunUntil(int64_t time_micros) {
+  while (!queue_.empty() && queue_.top().time <= time_micros) {
+    Step();
+  }
+  if (now_ < time_micros) {
+    now_ = time_micros;
+  }
+}
+
+void SimEnvironment::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace pivot

@@ -1,0 +1,74 @@
+// SimEnvironment: a deterministic discrete-event simulation kernel.
+//
+// This is the substrate that stands in for the paper's 8-node cluster (see
+// DESIGN.md §1): simulated time in microseconds, an event queue ordered by
+// (time, insertion sequence), and helpers to run the clock forward. All of
+// the Hadoop-stack simulation and every figure-reproducing bench execute on
+// top of it, which makes each experiment exactly repeatable.
+
+#ifndef PIVOT_SRC_SIMSYS_SIM_ENV_H_
+#define PIVOT_SRC_SIMSYS_SIM_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pivot {
+
+inline constexpr int64_t kMicrosPerSecond = 1'000'000;
+inline constexpr int64_t kMicrosPerMilli = 1'000;
+
+class SimEnvironment {
+ public:
+  SimEnvironment() = default;
+  SimEnvironment(const SimEnvironment&) = delete;
+  SimEnvironment& operator=(const SimEnvironment&) = delete;
+
+  int64_t now_micros() const { return now_; }
+
+  // Schedules `fn` to run `delay_micros` from now (clamped to now).
+  void Schedule(int64_t delay_micros, std::function<void()> fn) {
+    ScheduleAt(now_ + (delay_micros < 0 ? 0 : delay_micros), std::move(fn));
+  }
+
+  // Schedules `fn` at an absolute simulated time (clamped to now).
+  void ScheduleAt(int64_t time_micros, std::function<void()> fn);
+
+  // Runs one event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs events until simulated time would exceed `time_micros` (events at
+  // exactly `time_micros` still run) or the queue drains.
+  void RunUntil(int64_t time_micros);
+
+  // Runs every pending event (including newly scheduled ones) to quiescence.
+  void RunAll();
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    int64_t time;
+    uint64_t seq;  // FIFO tie-break for determinism.
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  int64_t now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_SIMSYS_SIM_ENV_H_

@@ -1,0 +1,99 @@
+#include "src/simsys/sim_rpc.h"
+
+#include <cassert>
+
+namespace pivot {
+
+uint64_t RpcStats::total_calls = 0;
+uint64_t RpcStats::total_baggage_bytes = 0;
+
+void RpcStats::Reset() {
+  total_calls = 0;
+  total_baggage_bytes = 0;
+}
+
+void SimRpcCall(SimProcess* client, SimProcess* server, CtxPtr ctx, uint64_t request_bytes,
+                RpcHandler handler, RpcDone done) {
+  SimWorld* world = client->world();
+  SimEnvironment* env = world->env();
+
+  std::vector<uint8_t> baggage_bytes = ctx->baggage().Serialize();
+  ++RpcStats::total_calls;
+  RpcStats::total_baggage_bytes += baggage_bytes.size();
+  uint64_t wire_bytes = request_bytes + baggage_bytes.size();
+
+  // Trace attachment survives the hop.
+  TraceRecorder* recorder = ctx->recorder();
+  uint64_t trace_id = ctx->trace_id();
+  EventId event = ctx->current_event();
+
+  const bool same_host = client->host() == server->host();
+
+  auto deliver = [server, handler = std::move(handler), done = std::move(done),
+                  baggage_bytes = std::move(baggage_bytes), recorder, trace_id, event, client,
+                  same_host]() mutable {
+    // GC/pause windows are honoured by the server handlers themselves (they
+    // need to observe the pause duration to export it, cf. Fig 9b's DN GC).
+    auto run_handler = [server, handler = std::move(handler), done = std::move(done),
+                        baggage_bytes = std::move(baggage_bytes), recorder, trace_id, event,
+                        client, same_host]() mutable {
+      auto server_ctx = std::make_shared<ExecutionContext>(server->runtime());
+      Result<Baggage> baggage = Baggage::Deserialize(baggage_bytes);
+      assert(baggage.ok() && "baggage corrupted in transit");
+      if (baggage.ok()) {
+        server_ctx->set_baggage(std::move(baggage).value());
+      }
+      if (recorder != nullptr) {
+        server_ctx->AttachTrace(recorder, trace_id, event);
+      }
+
+      RpcRespond respond = [client, server, done = std::move(done), same_host](
+                               CtxPtr response_ctx, uint64_t response_bytes) mutable {
+        SimEnvironment* env2 = client->world()->env();
+        std::vector<uint8_t> response_baggage = response_ctx->baggage().Serialize();
+        RpcStats::total_baggage_bytes += response_baggage.size();
+        uint64_t response_wire = response_bytes + response_baggage.size();
+
+        TraceRecorder* rec2 = response_ctx->recorder();
+        uint64_t trace2 = response_ctx->trace_id();
+        EventId event2 = response_ctx->current_event();
+
+        auto resume = [client, done = std::move(done), response_baggage, rec2, trace2,
+                       event2]() mutable {
+          auto client_ctx = std::make_shared<ExecutionContext>(client->runtime());
+          Result<Baggage> baggage2 = Baggage::Deserialize(response_baggage);
+          assert(baggage2.ok() && "baggage corrupted in transit");
+          if (baggage2.ok()) {
+            client_ctx->set_baggage(std::move(baggage2).value());
+          }
+          if (rec2 != nullptr) {
+            client_ctx->AttachTrace(rec2, trace2, event2);
+          }
+          done(std::move(client_ctx));
+        };
+
+        if (same_host) {
+          env2->Schedule(0, std::move(resume));
+        } else {
+          server->host()->nic_out().Transfer(
+              response_wire, [client, resume = std::move(resume), response_wire]() mutable {
+                client->host()->nic_in().Transfer(response_wire, std::move(resume));
+              });
+        }
+      };
+      handler(std::move(server_ctx), std::move(respond));
+    };
+    run_handler();
+  };
+
+  if (same_host) {
+    env->Schedule(0, std::move(deliver));
+  } else {
+    client->host()->nic_out().Transfer(
+        wire_bytes, [server, deliver = std::move(deliver), wire_bytes]() mutable {
+          server->host()->nic_in().Transfer(wire_bytes, std::move(deliver));
+        });
+  }
+}
+
+}  // namespace pivot

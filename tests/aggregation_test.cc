@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rand.h"
+#include "src/core/aggregation.h"
+
+namespace pivot {
+namespace {
+
+Tuple Row(std::string g, int64_t v) {
+  return Tuple{{"g", Value(std::move(g))}, {"v", Value(v)}};
+}
+
+TEST(AggregatorTest, CountGrouped) {
+  Aggregator agg({"g"}, {{AggFn::kCount, "", "COUNT", false}});
+  agg.AddInput(Row("a", 1));
+  agg.AddInput(Row("a", 2));
+  agg.AddInput(Row("b", 3));
+  auto out = agg.Finalize();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].Get("g").string_value(), "a");
+  EXPECT_EQ(out[0].Get("COUNT").int_value(), 2);
+  EXPECT_EQ(out[1].Get("COUNT").int_value(), 1);
+}
+
+TEST(AggregatorTest, SumSkipsNulls) {
+  Aggregator agg({}, {{AggFn::kSum, "v", "SUM(v)", false}});
+  agg.AddInput(Row("a", 5));
+  agg.AddInput(Tuple{{"g", Value("a")}});  // v missing -> null
+  agg.AddInput(Row("a", 7));
+  auto out = agg.Finalize();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Get("SUM(v)").int_value(), 12);
+}
+
+TEST(AggregatorTest, MinMax) {
+  Aggregator agg({}, {{AggFn::kMin, "v", "MIN(v)", false}, {AggFn::kMax, "v", "MAX(v)", false}});
+  for (int64_t v : {5, -2, 9, 0}) {
+    agg.AddInput(Row("x", v));
+  }
+  auto out = agg.Finalize();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Get("MIN(v)").int_value(), -2);
+  EXPECT_EQ(out[0].Get("MAX(v)").int_value(), 9);
+}
+
+TEST(AggregatorTest, AverageFinalizesAsDouble) {
+  Aggregator agg({}, {{AggFn::kAverage, "v", "AVERAGE(v)", false}});
+  agg.AddInput(Row("x", 1));
+  agg.AddInput(Row("x", 2));
+  agg.AddInput(Row("x", 4));
+  auto out = agg.Finalize();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].Get("AVERAGE(v)").AsDouble(), 7.0 / 3.0, 1e-9);
+}
+
+TEST(AggregatorTest, EmptyGroupFinalizesCountZero) {
+  Aggregator agg({}, {{AggFn::kCount, "", "COUNT", false}});
+  EXPECT_TRUE(agg.Finalize().empty());
+  EXPECT_TRUE(agg.empty());
+}
+
+TEST(AggregatorTest, GroupKeysDistinguishTypes) {
+  Aggregator agg({"g"}, {{AggFn::kCount, "", "COUNT", false}});
+  agg.AddInput(Tuple{{"g", Value(int64_t{1})}});
+  agg.AddInput(Tuple{{"g", Value("1")}});
+  EXPECT_EQ(agg.group_count(), 2u);
+}
+
+TEST(AggregatorTest, GroupOutputInInsertionOrder) {
+  Aggregator agg({"g"}, {{AggFn::kCount, "", "COUNT", false}});
+  agg.AddInput(Row("z", 1));
+  agg.AddInput(Row("a", 1));
+  agg.AddInput(Row("z", 1));
+  auto out = agg.Finalize();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].Get("g").string_value(), "z");
+  EXPECT_EQ(out[1].Get("g").string_value(), "a");
+}
+
+TEST(AggregatorTest, StateRoundTripThroughAddState) {
+  Aggregator a({"g"}, {{AggFn::kAverage, "v", "AVG", false}, {AggFn::kCount, "", "C", false}});
+  a.AddInput(Row("x", 10));
+  a.AddInput(Row("x", 20));
+  a.AddInput(Row("y", 5));
+
+  Aggregator b(a.group_fields(), a.specs());
+  for (const auto& st : a.StateTuples()) {
+    b.AddState(st);
+  }
+  auto fa = a.Finalize();
+  auto fb = b.Finalize();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].ToString(), fb[i].ToString());
+  }
+}
+
+TEST(AggregatorTest, FromStateInputCombines) {
+  // Pack-side aggregator produced partial sums named "SUM(v)"; the emit-side
+  // spec with from_state combines them instead of re-summing raw values.
+  Aggregator packed({"g"}, {{AggFn::kSum, "v", "SUM(v)", false}});
+  packed.AddInput(Row("a", 3));
+  packed.AddInput(Row("a", 4));
+
+  Aggregator emit({"g"}, {{AggFn::kSum, "SUM(v)", "SUM(v)", true}});
+  for (const auto& st : packed.StateTuples()) {
+    emit.AddInput(st);
+  }
+  auto out = emit.Finalize();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Get("SUM(v)").int_value(), 7);
+}
+
+TEST(AggregatorTest, AverageStateCarriesCount) {
+  AggSpec avg{AggFn::kAverage, "v", "A", false};
+  EXPECT_EQ(avg.StateColumns(), (std::vector<std::string>{"A", "A#n"}));
+  Aggregator a({}, {avg});
+  a.AddInput(Row("x", 2));
+  a.AddInput(Row("x", 4));
+  auto st = a.StateTuples();
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_EQ(st[0].Get("A").int_value(), 6);
+  EXPECT_EQ(st[0].Get("A#n").int_value(), 2);
+}
+
+TEST(AggregatorTest, ClearResets) {
+  Aggregator agg({}, {{AggFn::kCount, "", "COUNT", false}});
+  agg.AddInput(Row("x", 1));
+  agg.Clear();
+  EXPECT_TRUE(agg.empty());
+  EXPECT_TRUE(agg.Finalize().empty());
+}
+
+// Property: partial aggregation + combining equals direct aggregation, for
+// every aggregate function, over random inputs and random partitionings —
+// the correctness condition behind Table 3's Combine and the agent/frontend
+// two-level aggregation.
+class CombinePropertyTest : public ::testing::TestWithParam<AggFn> {};
+
+TEST_P(CombinePropertyTest, PartitionedEqualsDirect) {
+  AggFn fn = GetParam();
+  AggSpec spec{fn, fn == AggFn::kCount ? "" : "v", "out", false};
+  Rng rng(static_cast<uint64_t>(fn) * 7919 + 1);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Tuple> rows;
+    int n = static_cast<int>(rng.NextBelow(60));
+    for (int i = 0; i < n; ++i) {
+      rows.push_back(Row(std::string(1, static_cast<char>('a' + rng.NextBelow(4))),
+                         rng.NextInt(-50, 50)));
+    }
+
+    Aggregator direct({"g"}, {spec});
+    for (const auto& r : rows) {
+      direct.AddInput(r);
+    }
+
+    // Random partition into up to 5 partial aggregators, combined at the end.
+    std::vector<Aggregator> parts;
+    for (int p = 0; p < 5; ++p) {
+      parts.emplace_back(std::vector<std::string>{"g"}, std::vector<AggSpec>{spec});
+    }
+    for (const auto& r : rows) {
+      parts[rng.NextBelow(parts.size())].AddInput(r);
+    }
+    Aggregator combined({"g"}, {spec});
+    for (auto& part : parts) {
+      for (const auto& st : part.StateTuples()) {
+        combined.AddState(st);
+      }
+    }
+
+    auto canonical = [](std::vector<Tuple> rows_in) {
+      std::vector<std::string> strs;
+      strs.reserve(rows_in.size());
+      for (const auto& r : rows_in) {
+        strs.push_back(r.ToString());
+      }
+      std::sort(strs.begin(), strs.end());
+      return strs;
+    };
+    ASSERT_EQ(canonical(direct.Finalize()), canonical(combined.Finalize()))
+        << "fn=" << AggFnName(fn) << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFns, CombinePropertyTest,
+                         ::testing::Values(AggFn::kCount, AggFn::kSum, AggFn::kMin, AggFn::kMax,
+                                           AggFn::kAverage),
+                         [](const ::testing::TestParamInfo<AggFn>& info) {
+                           return AggFnName(info.param);
+                         });
+
+}  // namespace
+}  // namespace pivot

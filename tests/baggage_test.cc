@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rand.h"
+#include "src/core/baggage.h"
+#include "src/core/wire.h"
+
+namespace pivot {
+namespace {
+
+Tuple T(const std::string& name, int64_t v) { return Tuple{{name, Value(v)}}; }
+
+std::vector<std::string> Canonical(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const auto& t : tuples) {
+    out.push_back(t.ToString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TupleBag semantics
+
+TEST(TupleBagTest, AllKeepsEverything) {
+  TupleBag bag(BagSpec::All());
+  for (int64_t i = 0; i < 5; ++i) {
+    bag.Add(T("x", i));
+  }
+  EXPECT_EQ(bag.size(), 5u);
+}
+
+TEST(TupleBagTest, FirstKeepsFirst) {
+  TupleBag bag(BagSpec::First(1));
+  bag.Add(T("x", 1));
+  bag.Add(T("x", 2));
+  auto contents = bag.Contents();
+  ASSERT_EQ(contents.size(), 1u);
+  EXPECT_EQ(contents[0].Get("x").int_value(), 1);
+}
+
+TEST(TupleBagTest, FirstNKeepsFirstN) {
+  TupleBag bag(BagSpec::First(2));
+  for (int64_t i = 1; i <= 4; ++i) {
+    bag.Add(T("x", i));
+  }
+  auto contents = bag.Contents();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0].Get("x").int_value(), 1);
+  EXPECT_EQ(contents[1].Get("x").int_value(), 2);
+}
+
+TEST(TupleBagTest, RecentKeepsMostRecent) {
+  TupleBag bag(BagSpec::Recent(1));
+  bag.Add(T("x", 1));
+  bag.Add(T("x", 2));
+  auto contents = bag.Contents();
+  ASSERT_EQ(contents.size(), 1u);
+  EXPECT_EQ(contents[0].Get("x").int_value(), 2);
+}
+
+TEST(TupleBagTest, RecentNKeepsLastNInOrder) {
+  TupleBag bag(BagSpec::Recent(2));
+  for (int64_t i = 1; i <= 4; ++i) {
+    bag.Add(T("x", i));
+  }
+  auto contents = bag.Contents();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0].Get("x").int_value(), 3);
+  EXPECT_EQ(contents[1].Get("x").int_value(), 4);
+}
+
+TEST(TupleBagTest, AggregateBagAccumulates) {
+  TupleBag bag(BagSpec::Aggregated({}, {{AggFn::kSum, "x", "SUM(x)", false}}));
+  bag.Add(T("x", 3));
+  bag.Add(T("x", 4));
+  auto contents = bag.Contents();
+  ASSERT_EQ(contents.size(), 1u);
+  EXPECT_EQ(contents[0].Get("SUM(x)").int_value(), 7);
+}
+
+TEST(TupleBagTest, MergeFirstPrefersThis) {
+  TupleBag a(BagSpec::First(1));
+  TupleBag b(BagSpec::First(1));
+  a.Add(T("x", 1));
+  b.Add(T("x", 2));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Contents()[0].Get("x").int_value(), 1);
+}
+
+TEST(TupleBagTest, MergeRecentPrefersOther) {
+  TupleBag a(BagSpec::Recent(1));
+  TupleBag b(BagSpec::Recent(1));
+  a.Add(T("x", 1));
+  b.Add(T("x", 2));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Contents()[0].Get("x").int_value(), 2);
+}
+
+TEST(TupleBagTest, MergeAggregateCombines) {
+  BagSpec spec = BagSpec::Aggregated({}, {{AggFn::kCount, "", "COUNT", false}});
+  TupleBag a(spec);
+  TupleBag b(spec);
+  a.Add(T("x", 1));
+  b.Add(T("x", 2));
+  b.Add(T("x", 3));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Contents()[0].Get("COUNT").int_value(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Baggage pack / unpack
+
+TEST(BaggageTest, PackUnpack) {
+  Baggage bag;
+  bag.Pack(1, BagSpec::All(), T("x", 1));
+  bag.Pack(1, BagSpec::All(), T("x", 2));
+  auto tuples = bag.Unpack(1);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_TRUE(bag.Unpack(999).empty());
+}
+
+TEST(BaggageTest, DistinctBagsAreIsolated) {
+  Baggage bag;
+  bag.Pack(1, BagSpec::All(), T("x", 1));
+  bag.Pack(2, BagSpec::All(), T("y", 9));
+  EXPECT_EQ(bag.Unpack(1).size(), 1u);
+  EXPECT_EQ(bag.Unpack(2).size(), 1u);
+  EXPECT_EQ(bag.Unpack(2)[0].Get("y").int_value(), 9);
+}
+
+TEST(BaggageTest, TrivialBaggageSerializesToZeroBytes) {
+  // "By default, Pivot Tracing propagates an empty baggage with a serialized
+  // size of 0 bytes" (§6.3).
+  Baggage bag;
+  EXPECT_TRUE(bag.IsTrivial());
+  EXPECT_TRUE(bag.Serialize().empty());
+}
+
+TEST(BaggageTest, DeserializeEmptyYieldsTrivial) {
+  Result<Baggage> bag = Baggage::Deserialize(nullptr, 0);
+  ASSERT_TRUE(bag.ok());
+  EXPECT_TRUE(bag->IsTrivial());
+}
+
+TEST(BaggageTest, SerializeRoundTripPreservesTuples) {
+  Baggage bag;
+  bag.Pack(7, BagSpec::First(2), Tuple{{"cl.procName", Value("HGET")}});
+  bag.Pack(9, BagSpec::Aggregated({"g"}, {{AggFn::kSum, "v", "S", false}}),
+           Tuple{{"g", Value("a")}, {"v", Value(int64_t{5})}});
+  std::vector<uint8_t> bytes = bag.Serialize();
+  ASSERT_FALSE(bytes.empty());
+
+  Result<Baggage> decoded = Baggage::Deserialize(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(Canonical(decoded->Unpack(7)), Canonical(bag.Unpack(7)));
+  EXPECT_EQ(Canonical(decoded->Unpack(9)), Canonical(bag.Unpack(9)));
+  // Re-serialization is stable.
+  EXPECT_EQ(decoded->Serialize(), bytes);
+}
+
+TEST(BaggageTest, SerializedSizeGrowsLinearlyInTuples) {
+  // Fig 10's premise: size is approximately linear in packed tuple count.
+  auto size_with = [](int n) {
+    Baggage bag;
+    for (int i = 0; i < n; ++i) {
+      bag.Pack(1, BagSpec::All(), T("x", i));
+    }
+    return bag.Serialize().size();
+  };
+  size_t s10 = size_with(10);
+  size_t s20 = size_with(20);
+  size_t s40 = size_with(40);
+  EXPECT_NEAR(static_cast<double>(s40 - s20), static_cast<double>(s20 - s10) * 2.0,
+              static_cast<double>(s10));
+}
+
+TEST(BaggageTest, DeserializeRejectsTrailingBytes) {
+  Baggage bag;
+  bag.Pack(1, BagSpec::All(), T("x", 1));
+  std::vector<uint8_t> bytes = bag.Serialize();
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(Baggage::Deserialize(bytes).ok());
+}
+
+TEST(BaggageTest, DeserializeFuzzDoesNotCrash) {
+  Rng rng(404);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> junk(rng.NextBelow(64));
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    // Must either fail cleanly or produce a usable baggage; never crash.
+    Result<Baggage> result = Baggage::Deserialize(junk);
+    if (result.ok()) {
+      result->TupleCount();
+    }
+  }
+}
+
+TEST(BaggageTest, TruncatedRealBaggageFailsCleanly) {
+  Baggage bag;
+  bag.Pack(1, BagSpec::All(), Tuple{{"name", Value("some-string-payload")}});
+  std::vector<uint8_t> bytes = bag.Serialize();
+  for (size_t cut = 1; cut < bytes.size(); ++cut) {
+    Result<Baggage> result = Baggage::Deserialize(bytes.data(), cut);
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Branching (§5)
+
+TEST(BaggageTest, SplitIsolatesBranches) {
+  // "Tuples packed by one branch cannot be visible to any other branch until
+  // the branches rejoin."
+  Baggage parent;
+  parent.Pack(1, BagSpec::All(), T("x", 1));
+  auto [left, right] = parent.Split();
+
+  left.Pack(1, BagSpec::All(), T("x", 100));
+  right.Pack(1, BagSpec::All(), T("x", 200));
+
+  // Both branches see the pre-split tuple plus their own only.
+  EXPECT_EQ(Canonical(left.Unpack(1)), (std::vector<std::string>{"(x=1)", "(x=100)"}));
+  EXPECT_EQ(Canonical(right.Unpack(1)), (std::vector<std::string>{"(x=1)", "(x=200)"}));
+}
+
+TEST(BaggageTest, JoinMergesBranchesAndDeduplicatesHistory) {
+  Baggage parent;
+  parent.Pack(1, BagSpec::All(), T("x", 1));
+  auto [left, right] = parent.Split();
+  left.Pack(1, BagSpec::All(), T("x", 100));
+  right.Pack(1, BagSpec::All(), T("x", 200));
+
+  Baggage joined = Baggage::Join(left, right);
+  // The pre-split tuple appears once (duplicate inactive instances dropped).
+  EXPECT_EQ(Canonical(joined.Unpack(1)),
+            (std::vector<std::string>{"(x=1)", "(x=100)", "(x=200)"}));
+  // ID recovered: split then join restores the seed interval.
+  EXPECT_EQ(joined.active_id(), ItcId::Seed());
+}
+
+TEST(BaggageTest, NestedSplitJoin) {
+  Baggage root;
+  auto [a, bc] = root.Split();
+  auto [b, c] = bc.Split();
+  a.Pack(1, BagSpec::All(), T("x", 1));
+  b.Pack(1, BagSpec::All(), T("x", 2));
+  c.Pack(1, BagSpec::All(), T("x", 3));
+  Baggage joined = Baggage::Join(a, Baggage::Join(b, c));
+  EXPECT_EQ(Canonical(joined.Unpack(1)),
+            (std::vector<std::string>{"(x=1)", "(x=2)", "(x=3)"}));
+  EXPECT_EQ(joined.active_id(), ItcId::Seed());
+}
+
+TEST(BaggageTest, SplitBranchesHaveDisjointIds) {
+  Baggage root;
+  auto [left, right] = root.Split();
+  EXPECT_FALSE(ItcId::Overlaps(left.active_id(), right.active_id()));
+}
+
+TEST(BaggageTest, SplitSerializesAndSurvivesWire) {
+  Baggage root;
+  root.Pack(1, BagSpec::First(1), T("x", 7));
+  auto [left, right] = root.Split();
+  left.Pack(1, BagSpec::First(1), T("x", 8));
+
+  // Ship the left branch across a (simulated) boundary.
+  Result<Baggage> shipped = Baggage::Deserialize(left.Serialize());
+  ASSERT_TRUE(shipped.ok());
+  Baggage joined = Baggage::Join(*shipped, right);
+  // FIRST semantics across instances: the pre-split tuple (oldest) wins.
+  auto tuples = joined.Unpack(1);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].Get("x").int_value(), 7);
+}
+
+TEST(BaggageTest, FirstSemanticsAcrossSplitPrefersOldest) {
+  Baggage root;
+  root.Pack(1, BagSpec::First(1), T("x", 1));
+  auto [left, right] = root.Split();
+  left.Pack(1, BagSpec::First(1), T("x", 2));
+  auto tuples = left.Unpack(1);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].Get("x").int_value(), 1);
+}
+
+TEST(BaggageTest, RecentSemanticsAcrossSplitPrefersNewest) {
+  Baggage root;
+  root.Pack(1, BagSpec::Recent(1), T("x", 1));
+  auto [left, right] = root.Split();
+  left.Pack(1, BagSpec::Recent(1), T("x", 2));
+  auto tuples = left.Unpack(1);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].Get("x").int_value(), 2);
+}
+
+TEST(BaggageTest, AggregateAcrossSplitCombines) {
+  BagSpec spec = BagSpec::Aggregated({}, {{AggFn::kSum, "x", "S", false}});
+  Baggage root;
+  root.Pack(1, spec, T("x", 1));
+  auto [left, right] = root.Split();
+  left.Pack(1, spec, T("x", 10));
+  right.Pack(1, spec, T("x", 100));
+  Baggage joined = Baggage::Join(left, right);
+  auto tuples = joined.Unpack(1);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].Get("S").int_value(), 111);
+}
+
+TEST(BaggageTest, TupleCountAndClear) {
+  Baggage bag;
+  bag.Pack(1, BagSpec::All(), T("x", 1));
+  bag.Pack(2, BagSpec::All(), T("y", 2));
+  auto [l, r] = bag.Split();
+  l.Pack(1, BagSpec::All(), T("x", 3));
+  EXPECT_EQ(l.TupleCount(), 3u);
+  l.Clear();
+  EXPECT_TRUE(l.IsTrivial());
+  EXPECT_EQ(l.TupleCount(), 0u);
+}
+
+}  // namespace
+}  // namespace pivot

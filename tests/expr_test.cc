@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/core/expr.h"
+
+namespace pivot {
+namespace {
+
+Tuple Row() {
+  return Tuple{{"a.x", Value(int64_t{10})},
+               {"a.y", Value(int64_t{3})},
+               {"b.host", Value("H")},
+               {"b.f", Value(2.5)}};
+}
+
+TEST(ExprTest, LiteralEvaluatesToItself) {
+  EXPECT_EQ(Expr::Literal(Value(int64_t{7}))->Eval(Tuple()).int_value(), 7);
+  EXPECT_EQ(Expr::Literal(Value("s"))->Eval(Tuple()).string_value(), "s");
+}
+
+TEST(ExprTest, FieldLookup) {
+  EXPECT_EQ(Expr::Field("a.x")->Eval(Row()).int_value(), 10);
+  EXPECT_TRUE(Expr::Field("missing")->Eval(Row()).is_null());
+}
+
+TEST(ExprTest, Arithmetic) {
+  auto e = Expr::Binary(ExprOp::kSub, Expr::Field("a.x"), Expr::Field("a.y"));
+  EXPECT_EQ(e->Eval(Row()).int_value(), 7);
+  auto m = Expr::Binary(ExprOp::kMul, Expr::Field("a.y"), Expr::Literal(Value(int64_t{4})));
+  EXPECT_EQ(m->Eval(Row()).int_value(), 12);
+  auto d = Expr::Binary(ExprOp::kDiv, Expr::Field("a.x"), Expr::Field("b.f"));
+  EXPECT_EQ(d->Eval(Row()).double_value(), 4.0);
+}
+
+TEST(ExprTest, ComparisonsYieldIntBool) {
+  auto lt = Expr::Binary(ExprOp::kLt, Expr::Field("a.y"), Expr::Field("a.x"));
+  Value v = lt->Eval(Row());
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.int_value(), 1);
+  auto ge = Expr::Binary(ExprOp::kGe, Expr::Field("a.y"), Expr::Field("a.x"));
+  EXPECT_EQ(ge->Eval(Row()).int_value(), 0);
+}
+
+TEST(ExprTest, StringEquality) {
+  auto eq = Expr::Binary(ExprOp::kEq, Expr::Field("b.host"), Expr::Literal(Value("H")));
+  EXPECT_EQ(eq->Eval(Row()).int_value(), 1);
+  auto ne = Expr::Binary(ExprOp::kNe, Expr::Field("b.host"), Expr::Literal(Value("H")));
+  EXPECT_EQ(ne->Eval(Row()).int_value(), 0);
+}
+
+TEST(ExprTest, LogicalShortCircuit) {
+  // (1 == 1) || (1/0 == 1) must not evaluate the division (null -> false
+  // anyway, but short-circuit keeps semantics clean).
+  auto lhs = Expr::Binary(ExprOp::kEq, Expr::Literal(Value(int64_t{1})),
+                          Expr::Literal(Value(int64_t{1})));
+  auto rhs = Expr::Binary(ExprOp::kEq,
+                          Expr::Binary(ExprOp::kDiv, Expr::Literal(Value(int64_t{1})),
+                                       Expr::Literal(Value(int64_t{0}))),
+                          Expr::Literal(Value(int64_t{1})));
+  EXPECT_EQ(Expr::Binary(ExprOp::kOr, lhs, rhs)->Eval(Tuple()).int_value(), 1);
+  EXPECT_EQ(Expr::Binary(ExprOp::kAnd, lhs, rhs)->Eval(Tuple()).int_value(), 0);
+}
+
+TEST(ExprTest, NotAndNeg) {
+  EXPECT_EQ(Expr::Unary(ExprOp::kNot, Expr::Literal(Value(int64_t{0})))->Eval(Tuple()).int_value(),
+            1);
+  EXPECT_EQ(Expr::Unary(ExprOp::kNeg, Expr::Field("a.x"))->Eval(Row()).int_value(), -10);
+}
+
+TEST(ExprTest, CollectFieldsDeduplicates) {
+  auto e = Expr::Binary(ExprOp::kAdd, Expr::Field("a.x"),
+                        Expr::Binary(ExprOp::kMul, Expr::Field("a.x"), Expr::Field("a.y")));
+  std::vector<std::string> fields;
+  e->CollectFields(&fields);
+  EXPECT_EQ(fields, (std::vector<std::string>{"a.x", "a.y"}));
+}
+
+TEST(ExprTest, FieldsSubsetOf) {
+  auto e = Expr::Binary(ExprOp::kAdd, Expr::Field("a.x"), Expr::Field("a.y"));
+  EXPECT_TRUE(e->FieldsSubsetOf({"a.x", "a.y", "z"}));
+  EXPECT_FALSE(e->FieldsSubsetOf({"a.x"}));
+}
+
+TEST(ExprTest, ToStringRendersTree) {
+  auto e = Expr::Binary(ExprOp::kNe, Expr::Field("st.host"), Expr::Field("DNop.host"));
+  EXPECT_EQ(e->ToString(), "(st.host != DNop.host)");
+  auto lit = Expr::Literal(Value("x"));
+  EXPECT_EQ(lit->ToString(), "\"x\"");
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,267 @@
+// End-to-end control-plane integration: frontend -> bus -> agents -> woven
+// tracepoints -> emitted tuples -> interval reports -> merged results.
+
+#include <gtest/gtest.h>
+
+#include "src/agent/agent.h"
+#include "src/agent/frontend.h"
+#include "src/bus/message_bus.h"
+#include "tests/test_util.h"
+
+namespace pivot {
+namespace {
+
+TracepointDef Def(const std::string& name, std::vector<std::string> exports) {
+  TracepointDef def;
+  def.name = name;
+  def.exports = std::move(exports);
+  return def;
+}
+
+// One "process": its own tracepoint registry + PT agent wired as the sink.
+struct MiniProcess {
+  TracepointRegistry registry;
+  ProcessRuntime runtime;
+  std::unique_ptr<PTAgent> agent;
+
+  MiniProcess(MessageBus* bus, ManualClock* clock, std::string host, std::string name) {
+    runtime.info.host = std::move(host);
+    runtime.info.process_name = std::move(name);
+    runtime.info.process_id = 7;
+    runtime.now_micros = [clock] { return clock->now; };
+    agent = std::make_unique<PTAgent>(bus, &registry, runtime.info);
+    runtime.sink = agent.get();
+  }
+
+  Tracepoint* Define(const std::string& name, std::vector<std::string> exports) {
+    auto tp = registry.Define(Def(name, std::move(exports)));
+    EXPECT_TRUE(tp.ok());
+    return *tp;
+  }
+};
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  FrontendTest()
+      : client_(&bus_, &clock_, "A", "FSread4m"),
+        datanode_b_(&bus_, &clock_, "B", "DataNode"),
+        datanode_c_(&bus_, &clock_, "C", "DataNode"),
+        frontend_(&bus_, &schema_) {
+    // Schema registry holds all definitions for query validation.
+    EXPECT_TRUE(schema_.Define(Def("ClientProtocols", {"procName"})).ok());
+    EXPECT_TRUE(schema_.Define(Def("DataNodeMetrics.incrBytesRead", {"delta"})).ok());
+
+    tp_client_ = client_.Define("ClientProtocols", {"procName"});
+    tp_incr_b_ = datanode_b_.Define("DataNodeMetrics.incrBytesRead", {"delta"});
+    tp_incr_c_ = datanode_c_.Define("DataNodeMetrics.incrBytesRead", {"delta"});
+  }
+
+  // Simulates one request: ClientProtocols at the client, then reads at the
+  // given DataNodes; baggage crosses "process boundaries" through the wire
+  // format exactly as an RPC layer would carry it.
+  void RunRequest(const std::vector<std::pair<MiniProcess*, int64_t>>& reads) {
+    ExecutionContext ctx(&client_.runtime);
+    tp_client_->Invoke(&ctx, {{"procName", Value(client_.runtime.info.process_name)}});
+    std::vector<uint8_t> wire = ctx.baggage().Serialize();
+    for (auto& [proc, delta] : reads) {
+      ExecutionContext server_ctx(&proc->runtime);
+      Result<Baggage> baggage = Baggage::Deserialize(wire);
+      ASSERT_TRUE(baggage.ok());
+      server_ctx.set_baggage(std::move(baggage).value());
+      Tracepoint* tp = proc == &datanode_b_ ? tp_incr_b_ : tp_incr_c_;
+      tp->Invoke(&server_ctx, {{"delta", Value(delta)}});
+      wire = server_ctx.baggage().Serialize();
+    }
+  }
+
+  void FlushAll() {
+    clock_.Tick(kFlushInterval);
+    client_.agent->Flush(clock_.now);
+    datanode_b_.agent->Flush(clock_.now);
+    datanode_c_.agent->Flush(clock_.now);
+  }
+
+  static constexpr int64_t kFlushInterval = 1'000'000;
+
+  ManualClock clock_;
+  MessageBus bus_;
+  TracepointRegistry schema_;
+  MiniProcess client_;
+  MiniProcess datanode_b_;
+  MiniProcess datanode_c_;
+  Frontend frontend_;
+  Tracepoint* tp_client_;
+  Tracepoint* tp_incr_b_;
+  Tracepoint* tp_incr_c_;
+};
+
+TEST_F(FrontendTest, Q1StyleLocalAggregation) {
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead GroupBy incr.host "
+      "Select incr.host, SUM(incr.delta)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  RunRequest({{&datanode_b_, 100}, {&datanode_c_, 50}});
+  RunRequest({{&datanode_b_, 200}});
+  FlushAll();
+
+  EXPECT_EQ(CanonicalTuples(frontend_.Results(*q)),
+            (std::vector<std::string>{"(incr.host=B, SUM(incr.delta)=300)",
+                                      "(incr.host=C, SUM(incr.delta)=50)"}));
+}
+
+TEST_F(FrontendTest, Q2StyleHappenedBeforeJoinAcrossProcesses) {
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead "
+      "Join cl In First(ClientProtocols) On cl -> incr "
+      "GroupBy cl.procName Select cl.procName, SUM(incr.delta)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  RunRequest({{&datanode_b_, 100}, {&datanode_c_, 50}});
+  FlushAll();
+
+  EXPECT_EQ(CanonicalTuples(frontend_.Results(*q)),
+            (std::vector<std::string>{"(cl.procName=FSread4m, SUM(incr.delta)=150)"}));
+}
+
+TEST_F(FrontendTest, SeriesSeparatesIntervals) {
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select SUM(incr.delta)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  RunRequest({{&datanode_b_, 10}});
+  FlushAll();
+  RunRequest({{&datanode_b_, 20}});
+  FlushAll();
+
+  auto series = frontend_.Series(*q);
+  ASSERT_EQ(series.size(), 2u);
+  auto it = series.begin();
+  EXPECT_EQ(it->second[0].Get("SUM(incr.delta)").int_value(), 10);
+  ++it;
+  EXPECT_EQ(it->second[0].Get("SUM(incr.delta)").int_value(), 20);
+  // Totals merge the intervals.
+  EXPECT_EQ(frontend_.Results(*q)[0].Get("SUM(incr.delta)").int_value(), 30);
+}
+
+TEST_F(FrontendTest, StreamingQueryDeliversRows) {
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select incr.delta");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  RunRequest({{&datanode_b_, 5}, {&datanode_b_, 6}});
+  FlushAll();
+  EXPECT_EQ(CanonicalTuples(frontend_.Results(*q)),
+            (std::vector<std::string>{"(incr.delta=5)", "(incr.delta=6)"}));
+}
+
+TEST_F(FrontendTest, UninstallStopsCollection) {
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select COUNT");
+  ASSERT_TRUE(q.ok());
+  RunRequest({{&datanode_b_, 1}});
+  FlushAll();
+  EXPECT_EQ(frontend_.Results(*q)[0].Get("COUNT").int_value(), 1);
+
+  ASSERT_TRUE(frontend_.Uninstall(*q).ok());
+  EXPECT_FALSE(tp_incr_b_->enabled());
+  RunRequest({{&datanode_b_, 1}});
+  FlushAll();
+  // Results frozen at the pre-uninstall state.
+  EXPECT_EQ(frontend_.Results(*q)[0].Get("COUNT").int_value(), 1);
+}
+
+TEST_F(FrontendTest, QueriesImposeNoOverheadWhenUninstalled) {
+  // "Pivot Tracing queries impose truly no overhead when disabled" — the
+  // tracepoint fast path stays disabled until a weave arrives.
+  EXPECT_FALSE(tp_client_->enabled());
+  EXPECT_FALSE(tp_incr_b_->enabled());
+  RunRequest({{&datanode_b_, 100}});
+  EXPECT_EQ(client_.agent->emitted_tuples(), 0u);
+  EXPECT_EQ(datanode_b_.agent->emitted_tuples(), 0u);
+}
+
+TEST_F(FrontendTest, TwoQueriesRunIndependently) {
+  Result<uint64_t> q1 = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select COUNT");
+  Result<uint64_t> q2 = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select SUM(incr.delta)");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  RunRequest({{&datanode_b_, 10}, {&datanode_c_, 20}});
+  FlushAll();
+  EXPECT_EQ(frontend_.Results(*q1)[0].Get("COUNT").int_value(), 2);
+  EXPECT_EQ(frontend_.Results(*q2)[0].Get("SUM(incr.delta)").int_value(), 30);
+
+  ASSERT_TRUE(frontend_.Uninstall(*q1).ok());
+  RunRequest({{&datanode_b_, 5}});
+  FlushAll();
+  EXPECT_EQ(frontend_.Results(*q2)[0].Get("SUM(incr.delta)").int_value(), 35);
+}
+
+TEST_F(FrontendTest, PartialAggregationReducesReportedTuples) {
+  // §4 "Tuple Aggregation": many emitted tuples per interval collapse into
+  // one state tuple per (process, group).
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select SUM(incr.delta)");
+  ASSERT_TRUE(q.ok());
+  for (int i = 0; i < 50; ++i) {
+    RunRequest({{&datanode_b_, 1}});
+  }
+  FlushAll();
+  EXPECT_EQ(datanode_b_.agent->emitted_tuples(), 50u);
+  EXPECT_EQ(datanode_b_.agent->reported_tuples(), 1u);
+  EXPECT_EQ(frontend_.Results(*q)[0].Get("SUM(incr.delta)").int_value(), 50);
+}
+
+TEST_F(FrontendTest, InstallRejectsBadQueries) {
+  EXPECT_FALSE(frontend_.Install("not a query").ok());
+  EXPECT_FALSE(frontend_.Install("From e In NoSuchTracepoint Select e.host").ok());
+  EXPECT_FALSE(frontend_.Uninstall(999).ok());
+}
+
+TEST_F(FrontendTest, NamedQueryRegistration) {
+  ASSERT_TRUE(frontend_
+                  .RegisterNamedQuery("QLat",
+                                      "From incr In DataNodeMetrics.incrBytesRead "
+                                      "Select incr.delta")
+                  .ok());
+  // Duplicate name rejected.
+  EXPECT_FALSE(frontend_.RegisterNamedQuery("QLat", "From e In ClientProtocols").ok());
+  // Unparsable rejected.
+  EXPECT_FALSE(frontend_.RegisterNamedQuery("Bad", "garbage").ok());
+}
+
+TEST_F(FrontendTest, TrimSeriesDropsOldIntervalsOnly) {
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select SUM(incr.delta)");
+  ASSERT_TRUE(q.ok());
+  RunRequest({{&datanode_b_, 10}});
+  FlushAll();
+  int64_t first_interval = clock_.now;
+  RunRequest({{&datanode_b_, 20}});
+  FlushAll();
+
+  ASSERT_EQ(frontend_.Series(*q).size(), 2u);
+  frontend_.TrimSeriesBefore(*q, first_interval + 1);
+  auto series = frontend_.Series(*q);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series.begin()->second[0].Get("SUM(incr.delta)").int_value(), 20);
+  // Cumulative totals are untouched.
+  EXPECT_EQ(frontend_.Results(*q)[0].Get("SUM(incr.delta)").int_value(), 30);
+
+  // query_id 0 trims everything.
+  frontend_.TrimSeriesBefore(0, clock_.now + 1);
+  EXPECT_TRUE(frontend_.Series(*q).empty());
+}
+
+TEST_F(FrontendTest, EmptyIntervalsPublishNothing) {
+  Result<uint64_t> q = frontend_.Install(
+      "From incr In DataNodeMetrics.incrBytesRead Select COUNT");
+  ASSERT_TRUE(q.ok());
+  FlushAll();  // Nothing happened.
+  EXPECT_EQ(frontend_.reports_received(), 0u);
+  EXPECT_TRUE(frontend_.Series(*q).empty());
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/hadoop/cluster.h"
+#include "src/hadoop/tracepoints.h"
+
+namespace pivot {
+namespace {
+
+HadoopClusterConfig SmallConfig() {
+  HadoopClusterConfig config;
+  config.worker_hosts = 4;
+  config.dataset_files = 64;
+  config.deploy_hbase = false;
+  config.deploy_mapreduce = false;
+  return config;
+}
+
+TEST(HdfsTest, ReadCompletesAndReportsDataNode) {
+  HadoopCluster cluster(SmallConfig());
+  SimProcess* client = cluster.AddClient(cluster.worker(0), "tester");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+
+  bool done = false;
+  CtxPtr ctx = cluster.world()->NewRequest(client);
+  hdfs.Read(ctx, 0, 4096, [&](CtxPtr, HdfsClient::ReadResult result) {
+    done = true;
+    EXPECT_GT(result.latency_micros, 0);
+    EXPECT_FALSE(result.datanode_host.empty());
+  });
+  cluster.world()->env()->RunAll();
+  EXPECT_TRUE(done);
+}
+
+TEST(HdfsTest, ReadMovesBytesThroughDiskAndNetwork) {
+  HadoopCluster cluster(SmallConfig());
+  SimProcess* client = cluster.AddClient(cluster.worker(0), "tester");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+
+  constexpr uint64_t kBytes = 4 << 20;
+  std::string dn_host;
+  CtxPtr ctx = cluster.world()->NewRequest(client);
+  hdfs.Read(ctx, 3, kBytes,
+            [&](CtxPtr, HdfsClient::ReadResult result) { dn_host = result.datanode_host; });
+  cluster.world()->env()->RunAll();
+
+  ASSERT_FALSE(dn_host.empty());
+  SimHost* dn = cluster.world()->FindHost(dn_host);
+  ASSERT_NE(dn, nullptr);
+  EXPECT_GE(dn->disk().total_bytes(), kBytes);
+  if (dn_host != "A") {
+    // Remote read: the payload crossed the DataNode's outbound link.
+    EXPECT_GE(dn->nic_out().total_bytes(), kBytes);
+  }
+}
+
+TEST(HdfsTest, MultiBlockFilesReadAcrossBlocks) {
+  HadoopClusterConfig config = SmallConfig();
+  config.hdfs.block_bytes = 4 << 20;  // 4 MB blocks.
+  HadoopCluster cluster(config);
+  // Recreate the dataset with 12 MB files -> 3 blocks each.
+  cluster.namenode()->CreateFiles(16, 12 << 20);
+  ASSERT_EQ(cluster.namenode()->file(0).blocks.size(), 3u);
+
+  Result<uint64_t> q = cluster.world()->frontend()->Install(
+      "From r In DataNodeMetrics.incrBytesRead Select SUM(r.delta), COUNT");
+  ASSERT_TRUE(q.ok());
+
+  SimProcess* client = cluster.AddClient(cluster.worker(0), "reader");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+  bool done = false;
+  hdfs.Read(cluster.world()->NewRequest(client), 0, 12 << 20,
+            [&](CtxPtr, HdfsClient::ReadResult result) {
+              done = true;
+              EXPECT_FALSE(result.datanode_host.empty());
+            });
+  cluster.world()->env()->RunAll();
+  cluster.world()->StartAgentFlushLoop(cluster.world()->env()->now_micros() + kMicrosPerSecond);
+  cluster.world()->env()->RunAll();
+  ASSERT_TRUE(done);
+
+  // Three DataNode reads of 4 MB each.
+  auto rows = cluster.world()->frontend()->Results(*q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Get("COUNT").int_value(), 3);
+  EXPECT_EQ(rows[0].Get("SUM(r.delta)").int_value(), 12 << 20);
+}
+
+TEST(HdfsTest, PartialReadTouchesOnlyNeededBlocks) {
+  HadoopClusterConfig config = SmallConfig();
+  config.hdfs.block_bytes = 4 << 20;
+  HadoopCluster cluster(config);
+  cluster.namenode()->CreateFiles(4, 12 << 20);
+
+  Result<uint64_t> q = cluster.world()->frontend()->Install(
+      "From r In DataNodeMetrics.incrBytesRead Select SUM(r.delta), COUNT");
+  ASSERT_TRUE(q.ok());
+  SimProcess* client = cluster.AddClient(cluster.worker(1), "reader");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+  hdfs.Read(cluster.world()->NewRequest(client), 0, 5 << 20,
+            [](CtxPtr, HdfsClient::ReadResult) {});
+  cluster.world()->env()->RunAll();
+  cluster.world()->StartAgentFlushLoop(cluster.world()->env()->now_micros() + kMicrosPerSecond);
+  cluster.world()->env()->RunAll();
+
+  // 5 MB over 4 MB blocks: one full block + 1 MB of the second.
+  auto rows = cluster.world()->frontend()->Results(*q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Get("COUNT").int_value(), 2);
+  EXPECT_EQ(rows[0].Get("SUM(r.delta)").int_value(), 5 << 20);
+}
+
+TEST(HdfsTest, WritePipelineReplicatesToThreeDataNodes) {
+  HadoopCluster cluster(SmallConfig());
+  Result<uint64_t> q = cluster.world()->frontend()->Install(
+      "From w In DataNodeMetrics.incrBytesWritten GroupBy w.host "
+      "Select w.host, SUM(w.delta), COUNT");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  SimProcess* client = cluster.AddClient(cluster.worker(0), "writer");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+  constexpr uint64_t kBytes = 1 << 20;
+  bool done = false;
+  hdfs.Write(cluster.world()->NewRequest(client), kBytes, [&](CtxPtr) { done = true; });
+  cluster.world()->env()->RunAll();
+  cluster.world()->StartAgentFlushLoop(cluster.world()->env()->now_micros() + kMicrosPerSecond);
+  cluster.world()->env()->RunAll();
+  ASSERT_TRUE(done);
+
+  // Replication 3: three distinct DataNodes each wrote the block once, and
+  // the head of the pipeline is local to the client (host A).
+  auto rows = cluster.world()->frontend()->Results(*q);
+  ASSERT_EQ(rows.size(), 3u);
+  int64_t total = 0;
+  bool saw_local = false;
+  for (const Tuple& row : rows) {
+    EXPECT_EQ(row.Get("COUNT").int_value(), 1);
+    EXPECT_EQ(row.Get("SUM(w.delta)").int_value(), static_cast<int64_t>(kBytes));
+    total += row.Get("SUM(w.delta)").int_value();
+    saw_local |= row.Get("w.host").string_value() == "A";
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(3 * kBytes));
+  EXPECT_TRUE(saw_local);
+}
+
+TEST(HdfsTest, WriteLockWaitObservableViaQuery) {
+  HadoopCluster cluster(SmallConfig());
+  Result<uint64_t> q = cluster.world()->frontend()->Install(
+      "From d In NN.ClientProtocol.done GroupBy d.op Select d.op, MAX(d.lockwait), COUNT");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // Two concurrent creates serialize on the namespace lock; the second waits.
+  SimProcess* client = cluster.AddClient(cluster.worker(1), "writer");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+  int completed = 0;
+  hdfs.MetadataOp(cluster.world()->NewRequest(client), "create", [&](CtxPtr) { ++completed; });
+  hdfs.MetadataOp(cluster.world()->NewRequest(client), "create", [&](CtxPtr) { ++completed; });
+  cluster.world()->env()->RunAll();
+  cluster.world()->StartAgentFlushLoop(cluster.world()->env()->now_micros() + kMicrosPerSecond);
+  cluster.world()->env()->RunAll();
+
+  EXPECT_EQ(completed, 2);
+  for (const Tuple& row : cluster.world()->frontend()->Results(*q)) {
+    if (row.Get("d.op").string_value() == "create") {
+      EXPECT_EQ(row.Get("COUNT").int_value(), 2);
+      EXPECT_GE(row.Get("MAX(d.lockwait)").int_value(),
+                cluster.config().hdfs.namenode_write_lock_micros / 2);
+    }
+  }
+}
+
+TEST(HdfsTest, WriteAndMetadataOpsComplete) {
+  HadoopCluster cluster(SmallConfig());
+  SimProcess* client = cluster.AddClient(cluster.worker(1), "tester");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+
+  int completed = 0;
+  hdfs.Write(cluster.world()->NewRequest(client), 1 << 20, [&](CtxPtr) { ++completed; });
+  for (const char* op : {"open", "create", "rename"}) {
+    hdfs.MetadataOp(cluster.world()->NewRequest(client), op, [&](CtxPtr) { ++completed; });
+  }
+  cluster.world()->env()->RunAll();
+  EXPECT_EQ(completed, 4);
+}
+
+TEST(HdfsTest, ReplicationPlacesDistinctDataNodes) {
+  HadoopCluster cluster(SmallConfig());
+  // Exercise the NameNode's placement directly via a read of each file and
+  // the exported replicas string.
+  Result<uint64_t> q = cluster.world()->frontend()->Install(
+      "From getloc In NN.GetBlockLocations GroupBy getloc.replicas "
+      "Select getloc.replicas, COUNT");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  SimProcess* client = cluster.AddClient(cluster.worker(2), "tester");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+  for (uint64_t f = 0; f < 20; ++f) {
+    hdfs.Read(cluster.world()->NewRequest(client), f, 1024, [](CtxPtr, HdfsClient::ReadResult) {});
+  }
+  cluster.world()->env()->RunAll();
+  cluster.world()->StartAgentFlushLoop(kMicrosPerSecond);
+  cluster.world()->env()->RunAll();
+
+  for (const Tuple& row : cluster.world()->frontend()->Results(*q)) {
+    std::string replicas = row.Get("getloc.replicas").string_value();
+    auto parts = StrSplit(replicas, ',');
+    EXPECT_EQ(parts.size(), 3u) << replicas;
+    EXPECT_NE(parts[0], parts[1]);
+    EXPECT_NE(parts[1], parts[2]);
+    EXPECT_NE(parts[0], parts[2]);
+  }
+}
+
+// The §6.1 bug: with the buggy replica selection, DataNode load is heavily
+// skewed; with the fix, it is near-uniform.
+double SelectionSkew(bool buggy) {
+  HadoopClusterConfig config;
+  config.worker_hosts = 8;
+  config.dataset_files = 256;
+  config.deploy_hbase = false;
+  config.deploy_mapreduce = false;
+  config.hdfs.namenode_static_replica_order = buggy;
+  config.hdfs.client_selects_first_location = buggy;
+  HadoopCluster cluster(config);
+
+  // One remote-only client per host (placed on the host but reading random
+  // files; locals happen ~3/8 of the time as in the paper).
+  std::vector<std::unique_ptr<HdfsReadWorkload>> clients;
+  for (int i = 0; i < 8; ++i) {
+    SimProcess* proc = cluster.AddClient(cluster.worker(static_cast<size_t>(i)), "StressTest");
+    clients.push_back(std::make_unique<HdfsReadWorkload>(
+        proc, cluster.namenode(), 8 << 10, 2000, /*stress_test=*/true, 1000 + static_cast<uint64_t>(i)));
+    clients.back()->Start(2 * kMicrosPerSecond);
+  }
+
+  // Count selections per DataNode with a Q6-style query.
+  Result<uint64_t> q = cluster.world()->frontend()->Install(
+      "From DNop In DN.DataTransferProtocol GroupBy DNop.host Select DNop.host, COUNT");
+  EXPECT_TRUE(q.ok());
+  cluster.world()->StartAgentFlushLoop(3 * kMicrosPerSecond);
+  cluster.world()->env()->RunAll();
+
+  std::map<std::string, int64_t> counts;
+  for (const Tuple& row : cluster.world()->frontend()->Results(*q)) {
+    counts[row.Get("DNop.host").string_value()] = row.Get("COUNT").int_value();
+  }
+  int64_t max_count = 0;
+  int64_t min_count = INT64_MAX;
+  for (char h = 'A'; h < 'A' + 8; ++h) {
+    int64_t c = counts[std::string(1, h)];
+    max_count = std::max(max_count, c);
+    min_count = std::min(min_count, c);
+  }
+  EXPECT_GT(max_count, 0);
+  return static_cast<double>(max_count) / static_cast<double>(std::max<int64_t>(1, min_count));
+}
+
+TEST(HdfsReplicaBugTest, BuggySelectionSkewsLoad) {
+  // Paper: host A averaged ~150 ops/s while host H saw ~25 ops/s (6x).
+  EXPECT_GT(SelectionSkew(true), 3.0);
+}
+
+TEST(HdfsReplicaBugTest, FixedSelectionIsBalanced) {
+  EXPECT_LT(SelectionSkew(false), 2.0);
+}
+
+TEST(HdfsTest, BaggageRidesEveryRpc) {
+  HadoopCluster cluster(SmallConfig());
+  RpcStats::Reset();
+
+  // Install a Q2-style query so ClientProtocols packs the process name.
+  Result<uint64_t> q = cluster.world()->frontend()->Install(
+      "From incr In DataNodeMetrics.incrBytesRead "
+      "Join cl In First(ClientProtocols) On cl -> incr "
+      "GroupBy cl.procName Select cl.procName, SUM(incr.delta)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  SimProcess* client = cluster.AddClient(cluster.worker(0), "FSread4m");
+  HdfsClient hdfs(client, cluster.namenode(), 1);
+  hdfs.Read(cluster.world()->NewRequest(client), 1, 4 << 20, [](CtxPtr, HdfsClient::ReadResult) {});
+  cluster.world()->env()->RunAll();
+  cluster.world()->StartAgentFlushLoop(60 * kMicrosPerSecond);
+  cluster.world()->env()->RunAll();
+
+  EXPECT_GE(RpcStats::total_calls, 2u);           // NN + DN.
+  EXPECT_GT(RpcStats::total_baggage_bytes, 0u);   // procName rode along.
+
+  auto results = cluster.world()->frontend()->Results(*q);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].Get("cl.procName").string_value(), "FSread4m");
+  EXPECT_EQ(results[0].Get("SUM(incr.delta)").int_value(), 4 << 20);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,173 @@
+// Full interval-tree-clock stamps, property-tested against an exact
+// causal-history oracle: each simulated stamp tracks the *set* of event
+// occurrences in its past; ITC's Leq must equal subset inclusion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rand.h"
+#include "src/core/itc_stamp.h"
+
+namespace pivot {
+namespace {
+
+TEST(ItcEventTest, LeafBasics) {
+  ItcEvent zero;
+  EXPECT_TRUE(zero.IsZero());
+  ItcEvent three = ItcEvent::Leaf(3);
+  EXPECT_TRUE(ItcEvent::Leq(zero, three));
+  EXPECT_FALSE(ItcEvent::Leq(three, zero));
+  EXPECT_TRUE(ItcEvent::Leq(three, three));
+  EXPECT_EQ(ItcEvent::Join(zero, three), three);
+}
+
+TEST(ItcStampTest, SeedAndFirstEvents) {
+  ItcStamp seed = ItcStamp::Seed();
+  ItcStamp e1 = seed.Event();
+  ItcStamp e2 = e1.Event();
+  EXPECT_TRUE(ItcStamp::HappenedBefore(seed, e1));
+  EXPECT_TRUE(ItcStamp::HappenedBefore(e1, e2));
+  EXPECT_TRUE(ItcStamp::HappenedBefore(seed, e2));
+  EXPECT_FALSE(ItcStamp::HappenedBefore(e2, e1));
+  EXPECT_EQ(e1.ToString(), "(1; 1)");
+  EXPECT_EQ(e2.ToString(), "(1; 2)");
+}
+
+TEST(ItcStampTest, ForkedStampsAreConcurrentAfterLocalEvents) {
+  auto [a, b] = ItcStamp::Seed().Fork();
+  ItcStamp a1 = a.Event();
+  ItcStamp b1 = b.Event();
+  EXPECT_TRUE(ItcStamp::Concurrent(a1, b1));
+  // Both dominate the pre-fork stamp.
+  EXPECT_TRUE(ItcStamp::HappenedBefore(a, a1));
+  EXPECT_TRUE(ItcStamp::HappenedBefore(b, b1));
+}
+
+TEST(ItcStampTest, JoinDominatesBothSides) {
+  auto [a, b] = ItcStamp::Seed().Fork();
+  ItcStamp a1 = a.Event().Event();
+  ItcStamp b1 = b.Event();
+  ItcStamp joined = ItcStamp::Join(a1, b1);
+  EXPECT_TRUE(ItcStamp::Leq(a1, joined));
+  EXPECT_TRUE(ItcStamp::Leq(b1, joined));
+  EXPECT_EQ(joined.id(), ItcId::Seed());
+}
+
+TEST(ItcStampTest, PeekCarriesCausalityWithoutIdentity) {
+  auto [a, b] = ItcStamp::Seed().Fork();
+  ItcStamp a1 = a.Event();
+  // "Message" from a to b: join with a's anonymous peek.
+  ItcStamp b_recv = ItcStamp::Join(b, a1.Peek());
+  EXPECT_TRUE(ItcStamp::Leq(a1, b_recv));
+  // b's identity is unchanged (a1's id was not merged).
+  EXPECT_EQ(b_recv.id(), b.id());
+  // And b can still record events.
+  ItcStamp b2 = b_recv.Event();
+  EXPECT_TRUE(ItcStamp::HappenedBefore(a1, b2));
+}
+
+TEST(ItcStampTest, EncodeDecodeRoundTrip) {
+  auto [a, b] = ItcStamp::Seed().Fork();
+  ItcStamp stamp = ItcStamp::Join(a.Event().Event(), b.Event().Peek());
+  std::vector<uint8_t> bytes;
+  stamp.Encode(&bytes);
+  size_t pos = 0;
+  ItcStamp decoded = ItcStamp::Seed();
+  ASSERT_TRUE(ItcStamp::Decode(bytes.data(), bytes.size(), &pos, &decoded));
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(decoded.ToString(), stamp.ToString());
+  EXPECT_TRUE(ItcStamp::Leq(decoded, stamp));
+  EXPECT_TRUE(ItcStamp::Leq(stamp, decoded));
+}
+
+TEST(ItcStampTest, DecodeRejectsGarbage) {
+  std::vector<uint8_t> junk = {0x07, 0x01, 0x02};
+  size_t pos = 0;
+  ItcStamp out = ItcStamp::Seed();
+  EXPECT_FALSE(ItcStamp::Decode(junk.data(), junk.size(), &pos, &out));
+}
+
+// ---------------------------------------------------------------------------
+// Oracle-based property test
+
+// A stamp paired with its exact causal history (set of event occurrence ids).
+struct OracleStamp {
+  ItcStamp stamp;
+  std::set<int> history;
+};
+
+class ItcStampPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ItcStampPropertyTest, LeqMatchesCausalHistoryInclusion) {
+  Rng rng(GetParam());
+  std::vector<OracleStamp> live;
+  live.push_back({ItcStamp::Seed(), {}});
+  int next_event = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.NextBelow(4)) {
+      case 0: {  // Local event.
+        OracleStamp& s = live[rng.NextBelow(live.size())];
+        s.stamp = s.stamp.Event();
+        s.history.insert(next_event++);
+        break;
+      }
+      case 1: {  // Fork.
+        if (live.size() >= 10) {
+          break;
+        }
+        size_t i = rng.NextBelow(live.size());
+        auto [s1, s2] = live[i].stamp.Fork();
+        OracleStamp child{s2, live[i].history};
+        live[i].stamp = s1;
+        live.push_back(std::move(child));
+        break;
+      }
+      case 2: {  // Join (retire one stamp into another).
+        if (live.size() < 2) {
+          break;
+        }
+        size_t i = rng.NextBelow(live.size());
+        size_t j = rng.NextBelow(live.size());
+        if (i == j) {
+          break;
+        }
+        live[i].stamp = ItcStamp::Join(live[i].stamp, live[j].stamp);
+        live[i].history.insert(live[j].history.begin(), live[j].history.end());
+        live.erase(live.begin() + static_cast<ptrdiff_t>(j));
+        break;
+      }
+      default: {  // Message: receiver joins the sender's peek.
+        if (live.size() < 2) {
+          break;
+        }
+        size_t from = rng.NextBelow(live.size());
+        size_t to = rng.NextBelow(live.size());
+        if (from == to) {
+          break;
+        }
+        live[to].stamp = ItcStamp::Join(live[to].stamp, live[from].stamp.Peek());
+        live[to].history.insert(live[from].history.begin(), live[from].history.end());
+        break;
+      }
+    }
+
+    // Invariant: Leq(a, b) == (history(a) ⊆ history(b)).
+    for (const auto& a : live) {
+      for (const auto& b : live) {
+        bool subset = std::includes(b.history.begin(), b.history.end(), a.history.begin(),
+                                    a.history.end());
+        ASSERT_EQ(ItcStamp::Leq(a.stamp, b.stamp), subset)
+            << "step " << step << "\n a=" << a.stamp.ToString()
+            << "\n b=" << b.stamp.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItcStampPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/query/lexer.h"
+
+namespace pivot {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) {
+    kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(LexerTest, IdentifiersAndDots) {
+  EXPECT_EQ(Kinds("DN.DataTransferProtocol"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kDot, TokenKind::kIdent,
+                                    TokenKind::kEnd}));
+  Result<std::vector<Token>> tokens = Tokenize("incr_Bytes2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "incr_Bytes2");
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  Result<std::vector<Token>> tokens = Tokenize("42 4.5 0.001");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 4.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 0.001);
+}
+
+TEST(LexerTest, NumberFollowedByDotIdentIsNotADouble) {
+  // "1.x" must lex as int, dot, ident — not a malformed double.
+  EXPECT_EQ(Kinds("1.x"), (std::vector<TokenKind>{TokenKind::kInt, TokenKind::kDot,
+                                                  TokenKind::kIdent, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Strings) {
+  Result<std::vector<Token>> tokens = Tokenize("\"hello world\" 'single'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+  EXPECT_EQ((*tokens)[1].text, "single");
+}
+
+TEST(LexerTest, StringEscapes) {
+  Result<std::vector<Token>> tokens = Tokenize(R"("a\"b")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a\"b");
+}
+
+TEST(LexerTest, OperatorsAndArrow) {
+  EXPECT_EQ(Kinds("-> - == != <= >= < > && || ! + * / %"),
+            (std::vector<TokenKind>{TokenKind::kArrow, TokenKind::kMinus, TokenKind::kEq,
+                                    TokenKind::kNe, TokenKind::kLe, TokenKind::kGe,
+                                    TokenKind::kLt, TokenKind::kGt, TokenKind::kAnd,
+                                    TokenKind::kOr, TokenKind::kBang, TokenKind::kPlus,
+                                    TokenKind::kStar, TokenKind::kSlash, TokenKind::kPercent,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, OffsetsPointAtTokens) {
+  Result<std::vector<Token>> tokens = Tokenize("ab  ->");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 4u);
+}
+
+TEST(LexerTest, Utf8MathMinus) {
+  EXPECT_EQ(Kinds("a \xE2\x88\x92 b"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kMinus, TokenKind::kIdent,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a = b").ok());    // Single '=' invalid.
+  EXPECT_FALSE(Tokenize("a & b").ok());    // Single '&'.
+  EXPECT_FALSE(Tokenize("a | b").ok());    // Single '|'.
+  EXPECT_FALSE(Tokenize("a # b").ok());    // Unknown character.
+  EXPECT_FALSE(Tokenize("caf\xC3\xA9").ok());  // Non-ASCII identifier.
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "src/query/compiler.h"
+#include "src/query/naive_eval.h"
+#include "src/query/parser.h"
+#include "tests/test_util.h"
+
+namespace pivot {
+namespace {
+
+// Reconstruction of the example execution of Fig 3: tracepoints A, B and C
+// fire several times across two branches that fork and rejoin. The expected
+// join results are printed verbatim in the figure.
+class Fig3Test : public ::testing::Test {
+ protected:
+  Fig3Test() {
+    trace_ = recorder_.NewTrace();
+    TraceGraph* g = recorder_.graph(trace_);
+    EventId root = g->AddEvent({});
+    // Branch 1: b1 -> c1.
+    EventId branch1 = g->AddEvent({root});
+    EventId b1 = Fire("B", "b1", g, branch1);
+    EventId c1 = Fire("C", "c1", g, b1);
+    // Branch 2: a1 -> a2 -> b2.
+    EventId branch2 = g->AddEvent({root});
+    EventId a1 = Fire("A", "a1", g, branch2);
+    EventId a2 = Fire("A", "a2", g, a1);
+    EventId b2 = Fire("B", "b2", g, a2);
+    // Rejoin, then c2 and a3.
+    EventId join = g->AddEvent({c1, b2});
+    EventId c2 = Fire("C", "c2", g, join);
+    Fire("A", "a3", g, c2);
+  }
+
+  EventId Fire(const std::string& tracepoint, const std::string& id, TraceGraph* g,
+               EventId parent) {
+    EventId ev = g->AddEvent({parent});
+    ObservedEvent obs;
+    obs.trace_id = trace_;
+    obs.event = ev;
+    obs.tracepoint = tracepoint;
+    obs.exports = Tuple{{"id", Value(id)}};
+    recorder_.Record(std::move(obs));
+    return ev;
+  }
+
+  std::vector<std::string> Rows(const std::string& query_text) {
+    Result<Query> q = ParseQuery(query_text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Result<NaiveResult> result = EvaluateNaive(*q, recorder_, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return CanonicalTuples(result->rows);
+  }
+
+  TraceRecorder recorder_;
+  uint64_t trace_ = 0;
+};
+
+TEST_F(Fig3Test, QueryAAlone) {
+  EXPECT_EQ(Rows("From a In A Select a.id"),
+            (std::vector<std::string>{"(a.id=a1)", "(a.id=a2)", "(a.id=a3)"}));
+}
+
+TEST_F(Fig3Test, AJoinB) {
+  // Fig 3: A ->⋈ B = { a1 b2, a2 b2 }.
+  EXPECT_EQ(Rows("From b In B Join a In A On a -> b Select a.id, b.id"),
+            (std::vector<std::string>{"(a.id=a1, b.id=b2)", "(a.id=a2, b.id=b2)"}));
+}
+
+TEST_F(Fig3Test, BJoinC) {
+  // Fig 3: B ->⋈ C = { b1 c1, b1 c2, b2 c2 }.
+  EXPECT_EQ(Rows("From c In C Join b In B On b -> c Select b.id, c.id"),
+            (std::vector<std::string>{"(b.id=b1, c.id=c1)", "(b.id=b1, c.id=c2)",
+                                      "(b.id=b2, c.id=c2)"}));
+}
+
+TEST_F(Fig3Test, AJoinBJoinC) {
+  // Fig 3: (A ->⋈ B) ->⋈ C = { a1 b2 c2, a2 b2 c2 }.
+  EXPECT_EQ(
+      Rows("From c In C Join b In B On b -> c Join a In A On a -> b Select a.id, b.id, c.id"),
+      (std::vector<std::string>{"(a.id=a1, b.id=b2, c.id=c2)",
+                                "(a.id=a2, b.id=b2, c.id=c2)"}));
+}
+
+TEST_F(Fig3Test, CountAggregation) {
+  EXPECT_EQ(Rows("From b In B Join a In A On a -> b Select COUNT"),
+            (std::vector<std::string>{"(COUNT=2)"}));
+}
+
+TEST_F(Fig3Test, GroupedCount) {
+  EXPECT_EQ(Rows("From c In C Join b In B On b -> c GroupBy b.id Select b.id, COUNT"),
+            (std::vector<std::string>{"(b.id=b1, COUNT=2)", "(b.id=b2, COUNT=1)"}));
+}
+
+TEST_F(Fig3Test, MostRecentPicksLatestPredecessor) {
+  // For c2, the most recent preceding B is b2 (b1 is older); c1's is b1.
+  EXPECT_EQ(Rows("From c In C Join b In MostRecent(B) On b -> c Select b.id, c.id"),
+            (std::vector<std::string>{"(b.id=b1, c.id=c1)", "(b.id=b2, c.id=c2)"}));
+}
+
+TEST_F(Fig3Test, FirstPicksEarliestPredecessor) {
+  EXPECT_EQ(Rows("From c In C Join b In First(B) On b -> c Select b.id, c.id"),
+            (std::vector<std::string>{"(b.id=b1, c.id=c1)", "(b.id=b1, c.id=c2)"}));
+}
+
+TEST_F(Fig3Test, WhereFilters) {
+  EXPECT_EQ(Rows("From c In C Join b In B On b -> c Where b.id == \"b2\" Select b.id, c.id"),
+            (std::vector<std::string>{"(b.id=b2, c.id=c2)"}));
+}
+
+TEST_F(Fig3Test, TuplesShippedCountsAllObservations) {
+  Result<Query> q = ParseQuery("From b In B Join a In A On a -> b Select COUNT");
+  ASSERT_TRUE(q.ok());
+  Result<NaiveResult> result = EvaluateNaive(*q, recorder_, nullptr);
+  ASSERT_TRUE(result.ok());
+  // Global evaluation must ship every A and B observation: 3 + 2.
+  EXPECT_EQ(result->tuples_shipped, 5u);
+  EXPECT_EQ(result->join_rows, 2u);
+}
+
+TEST(NaiveEvalTest, SeparateRequestsDoNotJoin) {
+  // a ≺ b only holds within "the execution of the same request" (§3).
+  TraceRecorder recorder;
+  for (int i = 0; i < 2; ++i) {
+    uint64_t t = recorder.NewTrace();
+    TraceGraph* g = recorder.graph(t);
+    EventId root = g->AddEvent({});
+    EventId a = g->AddEvent({root});
+    recorder.Record(ObservedEvent{t, a, "A", Tuple{{"id", Value(int64_t{i})}}});
+    EventId b = g->AddEvent({a});
+    recorder.Record(ObservedEvent{t, b, "B", Tuple{{"id", Value(int64_t{i})}}});
+  }
+  Result<Query> q = ParseQuery("From b In B Join a In A On a -> b Select a.id, b.id");
+  ASSERT_TRUE(q.ok());
+  Result<NaiveResult> result = EvaluateNaive(*q, recorder, nullptr);
+  ASSERT_TRUE(result.ok());
+  // Only the two within-request pairs, not the cross product.
+  EXPECT_EQ(CanonicalTuples(result->rows),
+            (std::vector<std::string>{"(a.id=0, b.id=0)", "(a.id=1, b.id=1)"}));
+}
+
+TEST(NaiveEvalTest, SubqueryJoinInlines) {
+  // Q9's shape: a latency measurement defined by one query, averaged per
+  // anchor event by another.
+  TraceRecorder recorder;
+  // Two requests: latencies 100 and 300, both ending in JobComplete.
+  for (int64_t latency : {100, 300}) {
+    uint64_t t = recorder.NewTrace();
+    TraceGraph* g = recorder.graph(t);
+    EventId root = g->AddEvent({});
+    EventId recv = g->AddEvent({root});
+    recorder.Record(ObservedEvent{t, recv, "ReceiveRequest", Tuple{{"time", Value(int64_t{0})}}});
+    EventId send = g->AddEvent({recv});
+    recorder.Record(ObservedEvent{t, send, "SendResponse", Tuple{{"time", Value(latency)}}});
+    EventId job = g->AddEvent({send});
+    recorder.Record(ObservedEvent{t, job, "JobComplete", Tuple{{"id", Value("J")}}});
+  }
+
+  QueryRegistry named;
+  ASSERT_TRUE(named
+                  .Register("Q8", *ParseQuery("From response In SendResponse "
+                                              "Join request In MostRecent(ReceiveRequest) "
+                                              "On request -> response "
+                                              "Select response.time - request.time"))
+                  .ok());
+  Result<Query> q9 = ParseQuery(
+      "From job In JobComplete "
+      "Join latencyMeasurement In Q8 On latencyMeasurement -> job "
+      "GroupBy job.id Select job.id, AVERAGE(latencyMeasurement)");
+  ASSERT_TRUE(q9.ok());
+  Result<NaiveResult> result = EvaluateNaive(*q9, recorder, &named);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].Get("job.id").string_value(), "J");
+  EXPECT_DOUBLE_EQ(result->rows[0].Get("AVERAGE(latencyMeasurement)").AsDouble(), 200.0);
+}
+
+TEST(NaiveEvalTest, SampledSourcesRejected) {
+  TraceRecorder recorder;
+  Result<Query> q = ParseQuery("From e In Sample(10, X) Select COUNT");
+  ASSERT_TRUE(q.ok());
+  Result<NaiveResult> result = EvaluateNaive(*q, recorder, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(NaiveEvalTest, UnionSources) {
+  TraceRecorder recorder;
+  uint64_t t = recorder.NewTrace();
+  TraceGraph* g = recorder.graph(t);
+  EventId root = g->AddEvent({});
+  EventId e1 = g->AddEvent({root});
+  recorder.Record(ObservedEvent{t, e1, "DataRPCs", Tuple{{"id", Value("d")}}});
+  EventId e2 = g->AddEvent({e1});
+  recorder.Record(ObservedEvent{t, e2, "ControlRPCs", Tuple{{"id", Value("c")}}});
+
+  Result<Query> q = ParseQuery("From e In DataRPCs, ControlRPCs Select e.id");
+  ASSERT_TRUE(q.ok());
+  Result<NaiveResult> result = EvaluateNaive(*q, recorder, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(CanonicalTuples(result->rows),
+            (std::vector<std::string>{"(e.id=c)", "(e.id=d)"}));
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,112 @@
+// Tests for the §4 propagation-overhead guard (kMaxBagTuples) and the
+// Table 4 static split/join API.
+
+#include <gtest/gtest.h>
+
+#include "src/core/baggage.h"
+#include "src/core/context.h"
+#include "tests/test_util.h"
+
+namespace pivot {
+namespace {
+
+Tuple T(int64_t v) { return Tuple{{"x", Value(v)}}; }
+
+TEST(BagOverflowTest, UnboundedBagCapsAndCounts) {
+  Baggage baggage;
+  for (size_t i = 0; i < kMaxBagTuples + 100; ++i) {
+    baggage.Pack(1, BagSpec::All(), T(static_cast<int64_t>(i)));
+  }
+  EXPECT_EQ(baggage.TupleCount(), kMaxBagTuples);
+  EXPECT_EQ(baggage.DroppedTupleCount(), 100u);
+  EXPECT_EQ(baggage.Unpack(1).size(), kMaxBagTuples);
+}
+
+TEST(BagOverflowTest, BoundedSemanticsNeverDrop) {
+  Baggage baggage;
+  for (size_t i = 0; i < kMaxBagTuples + 100; ++i) {
+    baggage.Pack(1, BagSpec::Recent(4), T(static_cast<int64_t>(i)));
+    baggage.Pack(2, BagSpec::Aggregated({}, {{AggFn::kCount, "", "C", false}}),
+                 T(static_cast<int64_t>(i)));
+  }
+  EXPECT_EQ(baggage.DroppedTupleCount(), 0u);
+  EXPECT_EQ(baggage.Unpack(1).size(), 4u);
+  EXPECT_EQ(baggage.Unpack(2)[0].Get("C").int_value(),
+            static_cast<int64_t>(kMaxBagTuples + 100));
+}
+
+TEST(BagOverflowTest, DroppedCountSurvivesTheWire) {
+  Baggage baggage;
+  for (size_t i = 0; i < kMaxBagTuples + 7; ++i) {
+    baggage.Pack(1, BagSpec::All(), T(static_cast<int64_t>(i)));
+  }
+  Result<Baggage> decoded = Baggage::Deserialize(baggage.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->DroppedTupleCount(), 7u);
+  EXPECT_EQ(decoded->Serialize(), baggage.Serialize());
+}
+
+TEST(BagOverflowTest, MergeRespectsCap) {
+  TupleBag a(BagSpec::All());
+  TupleBag b(BagSpec::All());
+  for (size_t i = 0; i < kMaxBagTuples; ++i) {
+    a.Add(T(1));
+    b.Add(T(2));
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.size(), kMaxBagTuples);
+  EXPECT_EQ(a.dropped(), kMaxBagTuples);
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 static split/join
+
+TEST(ThreadBaggageSplitJoinTest, SplitIsolatesAndJoinMerges) {
+  ExecutionContext ctx;
+  ScopedContext scope(&ctx);
+  ThreadBaggage::Pack(1, BagSpec::All(), T(1));
+
+  std::vector<uint8_t> branch = ThreadBaggage::Split();
+  ASSERT_FALSE(branch.empty());
+
+  // Parent packs on its half.
+  ThreadBaggage::Pack(1, BagSpec::All(), T(2));
+
+  // Branch side: its own context, deserialized baggage, its own pack.
+  std::vector<uint8_t> branch_result;
+  {
+    ExecutionContext branch_ctx;
+    ScopedContext branch_scope(&branch_ctx);
+    ThreadBaggage::Deserialize(branch);
+    // The pre-split tuple is visible to the branch...
+    EXPECT_EQ(ThreadBaggage::Unpack(1).size(), 1u);
+    ThreadBaggage::Pack(1, BagSpec::All(), T(3));
+    branch_result = ThreadBaggage::Serialize();
+  }
+
+  // ...but the parent's concurrent pack is not, until join.
+  EXPECT_EQ(CanonicalTuples(ctx.baggage().Unpack(1)),
+            (std::vector<std::string>{"(x=1)", "(x=2)"}));
+
+  ThreadBaggage::Join(branch_result);
+  EXPECT_EQ(CanonicalTuples(ctx.baggage().Unpack(1)),
+            (std::vector<std::string>{"(x=1)", "(x=2)", "(x=3)"}));
+  // The interval returns whole after the join.
+  EXPECT_EQ(ctx.baggage().active_id(), ItcId::Seed());
+}
+
+TEST(ThreadBaggageSplitJoinTest, NoContextIsNoop) {
+  EXPECT_TRUE(ThreadBaggage::Split().empty());
+  ThreadBaggage::Join({1, 2, 3});  // No crash.
+}
+
+TEST(ThreadBaggageSplitJoinTest, MalformedBranchBytesIgnored) {
+  ExecutionContext ctx;
+  ScopedContext scope(&ctx);
+  ThreadBaggage::Pack(1, BagSpec::All(), T(1));
+  ThreadBaggage::Join({0xFF, 0x00, 0x13});
+  EXPECT_EQ(ctx.baggage().Unpack(1).size(), 1u);  // Unchanged.
+}
+
+}  // namespace
+}  // namespace pivot

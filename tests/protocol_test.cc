@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/agent/protocol.h"
+#include "src/common/rand.h"
+
+namespace pivot {
+namespace {
+
+TEST(ProtocolTest, WeaveRoundTrip) {
+  WeaveCommand cmd;
+  cmd.query_id = 42;
+  cmd.advice.emplace_back("ClientProtocols", AdviceBuilder()
+                                                 .Observe({{"procName", "cl.procName"}})
+                                                 .Pack(100, BagSpec::First(1), {"cl.procName"})
+                                                 .Build());
+  cmd.advice.emplace_back(
+      "DataNodeMetrics.incrBytesRead",
+      AdviceBuilder().Observe({{"delta", "incr.delta"}}).Unpack(100).Emit(42, {}).Build());
+  cmd.plan.aggregated = true;
+  cmd.plan.group_fields = {"cl.procName"};
+  cmd.plan.aggs = {{AggFn::kSum, "incr.delta", "SUM(incr.delta)", false}};
+  cmd.plan.output_columns = {"cl.procName", "SUM(incr.delta)"};
+
+  Result<ControlMessage> decoded = DecodeControlMessage(EncodeWeave(cmd));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->type, ControlMessageType::kWeave);
+  EXPECT_EQ(decoded->weave.query_id, 42u);
+  ASSERT_EQ(decoded->weave.advice.size(), 2u);
+  EXPECT_EQ(decoded->weave.advice[0].first, "ClientProtocols");
+  EXPECT_EQ(decoded->weave.advice[0].second->ToString(), cmd.advice[0].second->ToString());
+  EXPECT_TRUE(decoded->weave.plan.aggregated);
+  EXPECT_EQ(decoded->weave.plan.aggs.size(), 1u);
+  EXPECT_EQ(decoded->weave.plan.output_columns,
+            (std::vector<std::string>{"cl.procName", "SUM(incr.delta)"}));
+}
+
+TEST(ProtocolTest, UnweaveRoundTrip) {
+  Result<ControlMessage> decoded = DecodeControlMessage(EncodeUnweave(17));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, ControlMessageType::kUnweave);
+  EXPECT_EQ(decoded->unweave_query_id, 17u);
+}
+
+TEST(ProtocolTest, ReportRoundTrip) {
+  AgentReport report;
+  report.query_id = 7;
+  report.host = "C";
+  report.process_name = "DataNode";
+  report.timestamp_micros = 3'000'000;
+  report.aggregated = true;
+  report.tuples.push_back(Tuple{{"incr.host", Value("C")}, {"SUM(incr.delta)", Value(int64_t{12345})}});
+
+  Result<ControlMessage> decoded = DecodeControlMessage(EncodeReport(report));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->type, ControlMessageType::kReport);
+  EXPECT_EQ(decoded->report.query_id, 7u);
+  EXPECT_EQ(decoded->report.host, "C");
+  EXPECT_EQ(decoded->report.timestamp_micros, 3'000'000);
+  ASSERT_EQ(decoded->report.tuples.size(), 1u);
+  EXPECT_EQ(decoded->report.tuples[0].Get("SUM(incr.delta)").int_value(), 12345);
+}
+
+TEST(ProtocolTest, EmptyPayloadRejected) {
+  EXPECT_FALSE(DecodeControlMessage({}).ok());
+}
+
+TEST(ProtocolTest, UnknownTypeRejected) {
+  EXPECT_FALSE(DecodeControlMessage({99}).ok());
+}
+
+TEST(ProtocolTest, FuzzDecodeNeverCrashes) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<uint8_t> junk(rng.NextBelow(64));
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    if (!junk.empty()) {
+      junk[0] = static_cast<uint8_t>(1 + rng.NextBelow(3));  // Valid type byte.
+    }
+    DecodeControlMessage(junk);  // Must not crash.
+  }
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rand.h"
+#include "src/core/trace_graph.h"
+
+namespace pivot {
+namespace {
+
+TEST(TraceGraphTest, LinearChain) {
+  TraceGraph g;
+  EventId a = g.AddEvent({});
+  EventId b = g.AddEvent({a});
+  EventId c = g.AddEvent({b});
+  EXPECT_TRUE(g.HappenedBefore(a, b));
+  EXPECT_TRUE(g.HappenedBefore(a, c));
+  EXPECT_TRUE(g.HappenedBefore(b, c));
+  EXPECT_FALSE(g.HappenedBefore(b, a));
+  EXPECT_FALSE(g.HappenedBefore(c, a));
+}
+
+TEST(TraceGraphTest, IrreflexiveAndBoundsChecked) {
+  TraceGraph g;
+  EventId a = g.AddEvent({});
+  EXPECT_FALSE(g.HappenedBefore(a, a));
+  EXPECT_FALSE(g.HappenedBefore(a, 999));
+  EXPECT_FALSE(g.HappenedBefore(999, a));
+  EXPECT_FALSE(g.HappenedBefore(a, kNoEvent));
+}
+
+TEST(TraceGraphTest, ConcurrentBranches) {
+  TraceGraph g;
+  EventId root = g.AddEvent({});
+  EventId left = g.AddEvent({root});
+  EventId right = g.AddEvent({root});
+  EXPECT_FALSE(g.HappenedBefore(left, right));
+  EXPECT_FALSE(g.HappenedBefore(right, left));
+  EventId join = g.AddEvent({left, right});
+  EXPECT_TRUE(g.HappenedBefore(left, join));
+  EXPECT_TRUE(g.HappenedBefore(right, join));
+  EXPECT_TRUE(g.HappenedBefore(root, join));
+}
+
+TEST(TraceGraphTest, NoEventParentsIgnored) {
+  TraceGraph g;
+  EventId a = g.AddEvent({kNoEvent});
+  EXPECT_EQ(g.parents(a).size(), 0u);
+  EventId b = g.AddEvent({a, kNoEvent});
+  EXPECT_EQ(g.parents(b).size(), 1u);
+}
+
+TEST(TraceGraphTest, DiamondReachability) {
+  TraceGraph g;
+  EventId a = g.AddEvent({});
+  EventId b = g.AddEvent({a});
+  EventId c = g.AddEvent({a});
+  EventId d = g.AddEvent({b, c});
+  EventId e = g.AddEvent({d});
+  EXPECT_TRUE(g.HappenedBefore(a, e));
+  EXPECT_TRUE(g.HappenedBefore(b, e));
+  EXPECT_TRUE(g.HappenedBefore(c, e));
+  EXPECT_FALSE(g.HappenedBefore(b, c));
+}
+
+// Property: HappenedBefore agrees with a brute-force transitive closure on
+// random DAGs (ids are topologically ordered by construction).
+class TraceGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceGraphPropertyTest, MatchesTransitiveClosure) {
+  Rng rng(GetParam());
+  TraceGraph g;
+  constexpr int kEvents = 40;
+  std::vector<std::vector<bool>> reach(kEvents, std::vector<bool>(kEvents, false));
+  for (int i = 0; i < kEvents; ++i) {
+    std::vector<EventId> parents;
+    int nparents = i == 0 ? 0 : static_cast<int>(rng.NextBelow(3));
+    for (int p = 0; p < nparents; ++p) {
+      auto parent = static_cast<EventId>(rng.NextBelow(static_cast<uint64_t>(i)));
+      parents.push_back(parent);
+      reach[parent][i] = true;
+      for (int k = 0; k < i; ++k) {
+        if (reach[k][parent]) {
+          reach[k][i] = true;
+        }
+      }
+    }
+    ASSERT_EQ(g.AddEvent(parents), static_cast<EventId>(i));
+  }
+  for (int a = 0; a < kEvents; ++a) {
+    for (int b = 0; b < kEvents; ++b) {
+      ASSERT_EQ(g.HappenedBefore(static_cast<EventId>(a), static_cast<EventId>(b)),
+                reach[a][b])
+          << a << " -> " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceGraphPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+TEST(TraceRecorderTest, TracksTracesAndObservations) {
+  TraceRecorder recorder;
+  uint64_t t0 = recorder.NewTrace();
+  uint64_t t1 = recorder.NewTrace();
+  EXPECT_EQ(t0, 0u);
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(recorder.trace_count(), 2u);
+
+  EventId e = recorder.graph(t0)->AddEvent({});
+  recorder.Record(ObservedEvent{t0, e, "X", Tuple{{"v", Value(int64_t{1})}}});
+  ASSERT_EQ(recorder.observed().size(), 1u);
+  EXPECT_EQ(recorder.observed()[0].tracepoint, "X");
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.trace_count(), 0u);
+  EXPECT_TRUE(recorder.observed().empty());
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "src/core/tracepoint.h"
+#include "tests/test_util.h"
+
+namespace pivot {
+namespace {
+
+TracepointDef Def(const std::string& name, std::vector<std::string> exports) {
+  TracepointDef def;
+  def.name = name;
+  def.exports = std::move(exports);
+  return def;
+}
+
+class TracepointTest : public ::testing::Test {
+ protected:
+  TracepointTest() : proc_("A", "DataNode", &clock_), ctx_(&proc_.runtime) {}
+
+  ManualClock clock_;
+  FakeProcess proc_;
+  ExecutionContext ctx_;
+  TracepointRegistry registry_;
+};
+
+TEST_F(TracepointTest, DefineAndFind) {
+  auto tp = registry_.Define(Def("X", {"v"}));
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(registry_.Find("X"), *tp);
+  EXPECT_EQ(registry_.Find("Y"), nullptr);
+}
+
+TEST_F(TracepointTest, DuplicateDefinitionRejected) {
+  ASSERT_TRUE(registry_.Define(Def("X", {"v"})).ok());
+  Result<Tracepoint*> dup = registry_.Define(Def("X", {"w"}));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TracepointTest, NamesSorted) {
+  ASSERT_TRUE(registry_.Define(Def("B", {})).ok());
+  ASSERT_TRUE(registry_.Define(Def("A", {})).ok());
+  EXPECT_EQ(registry_.Names(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST_F(TracepointTest, UnwovenTracepointDoesNothing) {
+  Tracepoint* tp = *registry_.Define(Def("X", {"v"}));
+  EXPECT_FALSE(tp->enabled());
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{1})}});
+  EXPECT_EQ(proc_.sink.total(), 0u);
+  EXPECT_TRUE(ctx_.baggage().IsTrivial());
+}
+
+TEST_F(TracepointTest, WeaveRunsAdviceWithDefaultExports) {
+  Tracepoint* tp = *registry_.Define(Def("X", {"v"}));
+  Advice::Ptr advice = AdviceBuilder()
+                           .Observe({{"v", "x.v"},
+                                     {"host", "x.host"},
+                                     {"procname", "x.procname"},
+                                     {"time", "x.time"},
+                                     {"tracepoint", "x.tracepoint"}})
+                           .Emit(1, {})
+                           .Build();
+  ASSERT_TRUE(registry_.WeaveQuery(1, {{"X", advice}}).ok());
+  EXPECT_TRUE(tp->enabled());
+
+  clock_.now = 777;
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{5})}});
+  ASSERT_EQ(proc_.sink.emitted(1).size(), 1u);
+  const Tuple& t = proc_.sink.emitted(1)[0];
+  EXPECT_EQ(t.Get("x.v").int_value(), 5);
+  EXPECT_EQ(t.Get("x.host").string_value(), "A");
+  EXPECT_EQ(t.Get("x.procname").string_value(), "DataNode");
+  EXPECT_EQ(t.Get("x.time").int_value(), 777);
+  EXPECT_EQ(t.Get("x.tracepoint").string_value(), "X");
+}
+
+TEST_F(TracepointTest, UnweaveDisables) {
+  Tracepoint* tp = *registry_.Define(Def("X", {"v"}));
+  Advice::Ptr advice = AdviceBuilder().Observe({{"v", "x.v"}}).Emit(1, {}).Build();
+  ASSERT_TRUE(registry_.WeaveQuery(1, {{"X", advice}}).ok());
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{1})}});
+  EXPECT_EQ(proc_.sink.total(), 1u);
+
+  registry_.UnweaveQuery(1);
+  EXPECT_FALSE(tp->enabled());
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{2})}});
+  EXPECT_EQ(proc_.sink.total(), 1u);  // Unchanged.
+}
+
+TEST_F(TracepointTest, UnweaveUnknownQueryIsIdempotent) {
+  registry_.UnweaveQuery(12345);  // No crash, no effect.
+}
+
+TEST_F(TracepointTest, MultipleQueriesShareTracepoint) {
+  Tracepoint* tp = *registry_.Define(Def("X", {"v"}));
+  Advice::Ptr a1 = AdviceBuilder().Observe({{"v", "x.v"}}).Emit(1, {}).Build();
+  Advice::Ptr a2 = AdviceBuilder().Observe({{"v", "x.v"}}).Emit(2, {}).Build();
+  ASSERT_TRUE(registry_.WeaveQuery(1, {{"X", a1}}).ok());
+  ASSERT_TRUE(registry_.WeaveQuery(2, {{"X", a2}}).ok());
+  EXPECT_EQ(registry_.WovenQueries(), (std::vector<uint64_t>{1, 2}));
+
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{9})}});
+  EXPECT_EQ(proc_.sink.emitted(1).size(), 1u);
+  EXPECT_EQ(proc_.sink.emitted(2).size(), 1u);
+
+  registry_.UnweaveQuery(1);
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{10})}});
+  EXPECT_EQ(proc_.sink.emitted(1).size(), 1u);
+  EXPECT_EQ(proc_.sink.emitted(2).size(), 2u);
+}
+
+TEST_F(TracepointTest, NullAdviceFailsAtomically) {
+  ASSERT_TRUE(registry_.Define(Def("X", {"v"})).ok());
+  Advice::Ptr advice = AdviceBuilder().Observe({{"v", "x.v"}}).Emit(1, {}).Build();
+  Status s = registry_.WeaveQuery(1, {{"X", advice}, {"Y", nullptr}});
+  EXPECT_FALSE(s.ok());
+  // Nothing was woven.
+  EXPECT_FALSE(registry_.Find("X")->enabled());
+  EXPECT_TRUE(registry_.WovenQueries().empty());
+}
+
+TEST_F(TracepointTest, DeferredWeavingAppliesOnLateDefinition) {
+  // A standing query can name a tracepoint whose subsystem has not
+  // initialized yet; the advice weaves the moment the tracepoint is defined.
+  Advice::Ptr advice = AdviceBuilder().Observe({{"v", "x.v"}}).Emit(1, {}).Build();
+  ASSERT_TRUE(registry_.WeaveQuery(1, {{"LATER", advice}}).ok());
+  Tracepoint* tp = *registry_.Define(Def("LATER", {"v"}));
+  EXPECT_TRUE(tp->enabled());
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{1})}});
+  EXPECT_EQ(proc_.sink.emitted(1).size(), 1u);
+}
+
+TEST_F(TracepointTest, DuplicateQueryIdRejected) {
+  ASSERT_TRUE(registry_.Define(Def("X", {"v"})).ok());
+  Advice::Ptr advice = AdviceBuilder().Observe({{"v", "x.v"}}).Emit(1, {}).Build();
+  ASSERT_TRUE(registry_.WeaveQuery(1, {{"X", advice}}).ok());
+  EXPECT_FALSE(registry_.WeaveQuery(1, {{"X", advice}}).ok());
+}
+
+TEST_F(TracepointTest, SameQueryWeavesMultipleTracepoints) {
+  ASSERT_TRUE(registry_.Define(Def("X", {"v"})).ok());
+  ASSERT_TRUE(registry_.Define(Def("Y", {"w"})).ok());
+  Advice::Ptr pack = AdviceBuilder()
+                         .Observe({{"v", "a.v"}})
+                         .Pack(100, BagSpec::First(1), {"a.v"})
+                         .Build();
+  Advice::Ptr emit = AdviceBuilder().Observe({{"w", "b.w"}}).Unpack(100).Emit(1, {}).Build();
+  ASSERT_TRUE(registry_.WeaveQuery(1, {{"X", pack}, {"Y", emit}}).ok());
+
+  registry_.Find("X")->Invoke(&ctx_, {{"v", Value(int64_t{3})}});
+  registry_.Find("Y")->Invoke(&ctx_, {{"w", Value(int64_t{4})}});
+  ASSERT_EQ(proc_.sink.emitted(1).size(), 1u);
+  EXPECT_EQ(proc_.sink.emitted(1)[0].Get("a.v").int_value(), 3);
+  EXPECT_EQ(proc_.sink.emitted(1)[0].Get("b.w").int_value(), 4);
+}
+
+TEST_F(TracepointTest, InvokeWithNullContextIsSafe) {
+  Tracepoint* tp = *registry_.Define(Def("X", {"v"}));
+  Advice::Ptr advice = AdviceBuilder().Observe({{"v", "x.v"}}).Emit(1, {}).Build();
+  ASSERT_TRUE(registry_.WeaveQuery(1, {{"X", advice}}).ok());
+  tp->Invoke(nullptr, {{"v", Value(int64_t{1})}});  // Advice runs but no-ops.
+  EXPECT_EQ(proc_.sink.total(), 0u);
+}
+
+TEST_F(TracepointTest, RecordingCapturesObservations) {
+  Tracepoint* tp = *registry_.Define(Def("X", {"v"}));
+  TraceRecorder recorder;
+  ctx_.StartTrace(&recorder);
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{1})}});
+  tp->Invoke(&ctx_, {{"v", Value(int64_t{2})}});
+  ASSERT_EQ(recorder.observed().size(), 2u);
+  EXPECT_EQ(recorder.observed()[0].tracepoint, "X");
+  EXPECT_EQ(recorder.observed()[0].exports.Get("v").int_value(), 1);
+  // Events are causally ordered within the request.
+  EXPECT_TRUE(recorder.graph(0)->HappenedBefore(recorder.observed()[0].event,
+                                                recorder.observed()[1].event));
+}
+
+}  // namespace
+}  // namespace pivot
