@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_baggage.dir/bench_fig10_baggage.cc.o"
+  "CMakeFiles/bench_fig10_baggage.dir/bench_fig10_baggage.cc.o.d"
+  "bench_fig10_baggage"
+  "bench_fig10_baggage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_baggage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_disk_usage.dir/bench_fig1_disk_usage.cc.o"
+  "CMakeFiles/bench_fig1_disk_usage.dir/bench_fig1_disk_usage.cc.o.d"
+  "bench_fig1_disk_usage"
+  "bench_fig1_disk_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_disk_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

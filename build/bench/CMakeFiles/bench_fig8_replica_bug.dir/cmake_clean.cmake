@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_replica_bug.dir/bench_fig8_replica_bug.cc.o"
+  "CMakeFiles/bench_fig8_replica_bug.dir/bench_fig8_replica_bug.cc.o.d"
+  "bench_fig8_replica_bug"
+  "bench_fig8_replica_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_replica_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_limplock.dir/bench_fig9_limplock.cc.o"
+  "CMakeFiles/bench_fig9_limplock.dir/bench_fig9_limplock.cc.o.d"
+  "bench_fig9_limplock"
+  "bench_fig9_limplock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_limplock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuple_traffic.dir/bench_tuple_traffic.cc.o"
+  "CMakeFiles/bench_tuple_traffic.dir/bench_tuple_traffic.cc.o.d"
+  "bench_tuple_traffic"
+  "bench_tuple_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuple_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

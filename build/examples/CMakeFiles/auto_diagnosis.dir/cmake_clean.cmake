@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_diagnosis.dir/auto_diagnosis.cpp.o"
+  "CMakeFiles/auto_diagnosis.dir/auto_diagnosis.cpp.o.d"
+  "auto_diagnosis"
+  "auto_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

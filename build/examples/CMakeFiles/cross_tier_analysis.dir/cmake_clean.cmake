@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_tier_analysis.dir/cross_tier_analysis.cpp.o"
+  "CMakeFiles/cross_tier_analysis.dir/cross_tier_analysis.cpp.o.d"
+  "cross_tier_analysis"
+  "cross_tier_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_tier_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

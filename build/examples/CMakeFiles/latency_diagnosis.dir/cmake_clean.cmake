@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_diagnosis.dir/latency_diagnosis.cpp.o"
+  "CMakeFiles/latency_diagnosis.dir/latency_diagnosis.cpp.o.d"
+  "latency_diagnosis"
+  "latency_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

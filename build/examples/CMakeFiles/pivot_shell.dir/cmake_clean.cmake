@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_shell.dir/pivot_shell.cpp.o"
+  "CMakeFiles/pivot_shell.dir/pivot_shell.cpp.o.d"
+  "pivot_shell"
+  "pivot_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

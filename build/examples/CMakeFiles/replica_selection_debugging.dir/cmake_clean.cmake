@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_selection_debugging.dir/replica_selection_debugging.cpp.o"
+  "CMakeFiles/replica_selection_debugging.dir/replica_selection_debugging.cpp.o.d"
+  "replica_selection_debugging"
+  "replica_selection_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_selection_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cross_tier "/root/repo/build/examples/cross_tier_analysis")
+set_tests_properties(example_cross_tier PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replica_debugging "/root/repo/build/examples/replica_selection_debugging")
+set_tests_properties(example_replica_debugging PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_latency_diagnosis "/root/repo/build/examples/latency_diagnosis")
+set_tests_properties(example_latency_diagnosis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pivot_shell "sh" "-c" "printf 'install From incr In DataNodeMetrics.incrBytesRead GroupBy incr.host Select incr.host, SUM(incr.delta)\\nadvance 3\\nresults 1\\nquit\\n' | /root/repo/build/examples/pivot_shell")
+set_tests_properties(example_pivot_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_auto_diagnosis "/root/repo/build/examples/auto_diagnosis")
+set_tests_properties(example_auto_diagnosis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

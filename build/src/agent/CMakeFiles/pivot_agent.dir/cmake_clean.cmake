@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_agent.dir/agent.cc.o"
+  "CMakeFiles/pivot_agent.dir/agent.cc.o.d"
+  "CMakeFiles/pivot_agent.dir/flusher.cc.o"
+  "CMakeFiles/pivot_agent.dir/flusher.cc.o.d"
+  "CMakeFiles/pivot_agent.dir/frontend.cc.o"
+  "CMakeFiles/pivot_agent.dir/frontend.cc.o.d"
+  "CMakeFiles/pivot_agent.dir/protocol.cc.o"
+  "CMakeFiles/pivot_agent.dir/protocol.cc.o.d"
+  "libpivot_agent.a"
+  "libpivot_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_bus.dir/message_bus.cc.o"
+  "CMakeFiles/pivot_bus.dir/message_bus.cc.o.d"
+  "libpivot_bus.a"
+  "libpivot_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_common.dir/rand.cc.o"
+  "CMakeFiles/pivot_common.dir/rand.cc.o.d"
+  "CMakeFiles/pivot_common.dir/status.cc.o"
+  "CMakeFiles/pivot_common.dir/status.cc.o.d"
+  "CMakeFiles/pivot_common.dir/strings.cc.o"
+  "CMakeFiles/pivot_common.dir/strings.cc.o.d"
+  "CMakeFiles/pivot_common.dir/varint.cc.o"
+  "CMakeFiles/pivot_common.dir/varint.cc.o.d"
+  "libpivot_common.a"
+  "libpivot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advice.cc" "src/core/CMakeFiles/pivot_core.dir/advice.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/advice.cc.o.d"
+  "/root/repo/src/core/advice_io.cc" "src/core/CMakeFiles/pivot_core.dir/advice_io.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/advice_io.cc.o.d"
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/pivot_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/baggage.cc" "src/core/CMakeFiles/pivot_core.dir/baggage.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/baggage.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/pivot_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/context.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/core/CMakeFiles/pivot_core.dir/expr.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/expr.cc.o.d"
+  "/root/repo/src/core/itc.cc" "src/core/CMakeFiles/pivot_core.dir/itc.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/itc.cc.o.d"
+  "/root/repo/src/core/itc_stamp.cc" "src/core/CMakeFiles/pivot_core.dir/itc_stamp.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/itc_stamp.cc.o.d"
+  "/root/repo/src/core/trace_graph.cc" "src/core/CMakeFiles/pivot_core.dir/trace_graph.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/trace_graph.cc.o.d"
+  "/root/repo/src/core/tracepoint.cc" "src/core/CMakeFiles/pivot_core.dir/tracepoint.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/tracepoint.cc.o.d"
+  "/root/repo/src/core/tuple.cc" "src/core/CMakeFiles/pivot_core.dir/tuple.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/tuple.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/core/CMakeFiles/pivot_core.dir/value.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/value.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/pivot_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/pivot_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

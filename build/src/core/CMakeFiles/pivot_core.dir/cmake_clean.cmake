@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_core.dir/advice.cc.o"
+  "CMakeFiles/pivot_core.dir/advice.cc.o.d"
+  "CMakeFiles/pivot_core.dir/advice_io.cc.o"
+  "CMakeFiles/pivot_core.dir/advice_io.cc.o.d"
+  "CMakeFiles/pivot_core.dir/aggregation.cc.o"
+  "CMakeFiles/pivot_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/pivot_core.dir/baggage.cc.o"
+  "CMakeFiles/pivot_core.dir/baggage.cc.o.d"
+  "CMakeFiles/pivot_core.dir/context.cc.o"
+  "CMakeFiles/pivot_core.dir/context.cc.o.d"
+  "CMakeFiles/pivot_core.dir/expr.cc.o"
+  "CMakeFiles/pivot_core.dir/expr.cc.o.d"
+  "CMakeFiles/pivot_core.dir/itc.cc.o"
+  "CMakeFiles/pivot_core.dir/itc.cc.o.d"
+  "CMakeFiles/pivot_core.dir/itc_stamp.cc.o"
+  "CMakeFiles/pivot_core.dir/itc_stamp.cc.o.d"
+  "CMakeFiles/pivot_core.dir/trace_graph.cc.o"
+  "CMakeFiles/pivot_core.dir/trace_graph.cc.o.d"
+  "CMakeFiles/pivot_core.dir/tracepoint.cc.o"
+  "CMakeFiles/pivot_core.dir/tracepoint.cc.o.d"
+  "CMakeFiles/pivot_core.dir/tuple.cc.o"
+  "CMakeFiles/pivot_core.dir/tuple.cc.o.d"
+  "CMakeFiles/pivot_core.dir/value.cc.o"
+  "CMakeFiles/pivot_core.dir/value.cc.o.d"
+  "CMakeFiles/pivot_core.dir/wire.cc.o"
+  "CMakeFiles/pivot_core.dir/wire.cc.o.d"
+  "libpivot_core.a"
+  "libpivot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

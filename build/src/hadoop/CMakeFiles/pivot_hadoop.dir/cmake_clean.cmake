@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_hadoop.dir/cluster.cc.o"
+  "CMakeFiles/pivot_hadoop.dir/cluster.cc.o.d"
+  "CMakeFiles/pivot_hadoop.dir/hbase.cc.o"
+  "CMakeFiles/pivot_hadoop.dir/hbase.cc.o.d"
+  "CMakeFiles/pivot_hadoop.dir/hdfs.cc.o"
+  "CMakeFiles/pivot_hadoop.dir/hdfs.cc.o.d"
+  "CMakeFiles/pivot_hadoop.dir/mapreduce.cc.o"
+  "CMakeFiles/pivot_hadoop.dir/mapreduce.cc.o.d"
+  "CMakeFiles/pivot_hadoop.dir/tracepoints.cc.o"
+  "CMakeFiles/pivot_hadoop.dir/tracepoints.cc.o.d"
+  "CMakeFiles/pivot_hadoop.dir/workloads.cc.o"
+  "CMakeFiles/pivot_hadoop.dir/workloads.cc.o.d"
+  "CMakeFiles/pivot_hadoop.dir/yarn.cc.o"
+  "CMakeFiles/pivot_hadoop.dir/yarn.cc.o.d"
+  "libpivot_hadoop.a"
+  "libpivot_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

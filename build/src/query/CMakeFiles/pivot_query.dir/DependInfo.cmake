@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/pivot_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/pivot_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/compiler.cc" "src/query/CMakeFiles/pivot_query.dir/compiler.cc.o" "gcc" "src/query/CMakeFiles/pivot_query.dir/compiler.cc.o.d"
+  "/root/repo/src/query/flatten.cc" "src/query/CMakeFiles/pivot_query.dir/flatten.cc.o" "gcc" "src/query/CMakeFiles/pivot_query.dir/flatten.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/pivot_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/pivot_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/naive_eval.cc" "src/query/CMakeFiles/pivot_query.dir/naive_eval.cc.o" "gcc" "src/query/CMakeFiles/pivot_query.dir/naive_eval.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/pivot_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/pivot_query.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pivot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_query.dir/ast.cc.o"
+  "CMakeFiles/pivot_query.dir/ast.cc.o.d"
+  "CMakeFiles/pivot_query.dir/compiler.cc.o"
+  "CMakeFiles/pivot_query.dir/compiler.cc.o.d"
+  "CMakeFiles/pivot_query.dir/flatten.cc.o"
+  "CMakeFiles/pivot_query.dir/flatten.cc.o.d"
+  "CMakeFiles/pivot_query.dir/lexer.cc.o"
+  "CMakeFiles/pivot_query.dir/lexer.cc.o.d"
+  "CMakeFiles/pivot_query.dir/naive_eval.cc.o"
+  "CMakeFiles/pivot_query.dir/naive_eval.cc.o.d"
+  "CMakeFiles/pivot_query.dir/parser.cc.o"
+  "CMakeFiles/pivot_query.dir/parser.cc.o.d"
+  "libpivot_query.a"
+  "libpivot_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

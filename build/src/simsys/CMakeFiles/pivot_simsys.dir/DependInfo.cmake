@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simsys/sim_env.cc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_env.cc.o" "gcc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_env.cc.o.d"
+  "/root/repo/src/simsys/sim_resource.cc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_resource.cc.o" "gcc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_resource.cc.o.d"
+  "/root/repo/src/simsys/sim_rpc.cc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_rpc.cc.o" "gcc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_rpc.cc.o.d"
+  "/root/repo/src/simsys/sim_world.cc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_world.cc.o" "gcc" "src/simsys/CMakeFiles/pivot_simsys.dir/sim_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pivot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/pivot_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/pivot_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/pivot_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_simsys.dir/sim_env.cc.o"
+  "CMakeFiles/pivot_simsys.dir/sim_env.cc.o.d"
+  "CMakeFiles/pivot_simsys.dir/sim_resource.cc.o"
+  "CMakeFiles/pivot_simsys.dir/sim_resource.cc.o.d"
+  "CMakeFiles/pivot_simsys.dir/sim_rpc.cc.o"
+  "CMakeFiles/pivot_simsys.dir/sim_rpc.cc.o.d"
+  "CMakeFiles/pivot_simsys.dir/sim_world.cc.o"
+  "CMakeFiles/pivot_simsys.dir/sim_world.cc.o.d"
+  "libpivot_simsys.a"
+  "libpivot_simsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_simsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advice_io_test.dir/advice_io_test.cc.o"
+  "CMakeFiles/advice_io_test.dir/advice_io_test.cc.o.d"
+  "advice_io_test"
+  "advice_io_test.pdb"
+  "advice_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advice_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

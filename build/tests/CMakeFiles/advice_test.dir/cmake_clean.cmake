@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advice_test.dir/advice_test.cc.o"
+  "CMakeFiles/advice_test.dir/advice_test.cc.o.d"
+  "advice_test"
+  "advice_test.pdb"
+  "advice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baggage_test.dir/baggage_test.cc.o"
+  "CMakeFiles/baggage_test.dir/baggage_test.cc.o.d"
+  "baggage_test"
+  "baggage_test.pdb"
+  "baggage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baggage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

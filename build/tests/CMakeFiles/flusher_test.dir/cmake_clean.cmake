@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flusher_test.dir/flusher_test.cc.o"
+  "CMakeFiles/flusher_test.dir/flusher_test.cc.o.d"
+  "flusher_test"
+  "flusher_test.pdb"
+  "flusher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flusher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_stack_test.dir/full_stack_test.cc.o"
+  "CMakeFiles/full_stack_test.dir/full_stack_test.cc.o.d"
+  "full_stack_test"
+  "full_stack_test.pdb"
+  "full_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hbase_test.cc" "tests/CMakeFiles/hbase_test.dir/hbase_test.cc.o" "gcc" "tests/CMakeFiles/hbase_test.dir/hbase_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hadoop/CMakeFiles/pivot_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsys/CMakeFiles/pivot_simsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/pivot_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/pivot_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pivot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/pivot_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

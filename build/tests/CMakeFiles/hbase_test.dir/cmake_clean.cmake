@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbase_test.dir/hbase_test.cc.o"
+  "CMakeFiles/hbase_test.dir/hbase_test.cc.o.d"
+  "hbase_test"
+  "hbase_test.pdb"
+  "hbase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hbase_test.
+# This may be replaced when dependencies are built.

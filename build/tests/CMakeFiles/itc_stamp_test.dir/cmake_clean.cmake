@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itc_stamp_test.dir/itc_stamp_test.cc.o"
+  "CMakeFiles/itc_stamp_test.dir/itc_stamp_test.cc.o.d"
+  "itc_stamp_test"
+  "itc_stamp_test.pdb"
+  "itc_stamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itc_stamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itc_test.dir/itc_test.cc.o"
+  "CMakeFiles/itc_test.dir/itc_test.cc.o.d"
+  "itc_test"
+  "itc_test.pdb"
+  "itc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

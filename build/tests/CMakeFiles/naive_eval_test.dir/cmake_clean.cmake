@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_eval_test.dir/naive_eval_test.cc.o"
+  "CMakeFiles/naive_eval_test.dir/naive_eval_test.cc.o.d"
+  "naive_eval_test"
+  "naive_eval_test.pdb"
+  "naive_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

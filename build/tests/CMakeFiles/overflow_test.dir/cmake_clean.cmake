@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_test.dir/overflow_test.cc.o"
+  "CMakeFiles/overflow_test.dir/overflow_test.cc.o.d"
+  "overflow_test"
+  "overflow_test.pdb"
+  "overflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

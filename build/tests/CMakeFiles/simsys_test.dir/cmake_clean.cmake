@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsys_test.dir/simsys_test.cc.o"
+  "CMakeFiles/simsys_test.dir/simsys_test.cc.o.d"
+  "simsys_test"
+  "simsys_test.pdb"
+  "simsys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracepoint_test.dir/tracepoint_test.cc.o"
+  "CMakeFiles/tracepoint_test.dir/tracepoint_test.cc.o.d"
+  "tracepoint_test"
+  "tracepoint_test.pdb"
+  "tracepoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracepoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
