@@ -18,7 +18,13 @@
 //   uninstall <id>                remove a query
 //   tracepoints                   list the cluster's tracepoint vocabulary
 //   queries                       list installed queries
+//   status [json]                 operational dump: query lifecycle, agent
+//                                 health, bus traffic, telemetry registry
 //   help / quit
+//
+// The vocabulary includes the self-telemetry meta-tracepoints, so the shell
+// can monitor Pivot Tracing with Pivot Tracing:
+//   install From b In Baggage.Serialize GroupBy b.queryId Select b.queryId, SUM(b.bytes)
 
 #include <cstdio>
 #include <iostream>
@@ -140,6 +146,7 @@ constexpr char kHelp[] =
     "  uninstall <id>      remove a query\n"
     "  tracepoints         list the tracepoint vocabulary\n"
     "  queries             list installed query ids\n"
+    "  status [json]       query lifecycle + agent health + bus + telemetry\n"
     "  help, quit\n";
 
 }  // namespace
@@ -194,6 +201,15 @@ int main() {
     } else if (cmd == "queries") {
       for (uint64_t id : shell.installed) {
         printf("  %llu\n", static_cast<unsigned long long>(id));
+      }
+    } else if (cmd == "status") {
+      std::string mode;
+      in >> mode;
+      Frontend* frontend = shell.cluster.world()->frontend();
+      if (mode == "json") {
+        printf("%s\n", frontend->StatusReportJson().c_str());
+      } else {
+        printf("%s", frontend->StatusReport().c_str());
       }
     } else {
       printf("unknown command '%s' — try `help`\n", cmd.c_str());

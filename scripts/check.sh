@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 verification: configure, build, run the full test suite, then the
+# telemetry probe-effect gate (unwoven tracepoint fast path must stay within
+# MAX_OVERHEAD_PCT of the seed implementation; see docs/OBSERVABILITY.md).
+#
+# Usage: scripts/check.sh [build-dir]
+#   MAX_OVERHEAD_PCT=10  overhead gate threshold (percent)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+max_overhead=${MAX_OVERHEAD_PCT:-10}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo
+echo "=== tier-1 tests ==="
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+echo
+echo "=== telemetry overhead gate (<= ${max_overhead}%) ==="
+"$build_dir/bench/bench_telemetry_overhead" --max-overhead-pct="$max_overhead"
+
+echo
+echo "All checks passed."

@@ -1,6 +1,45 @@
 #include "src/agent/agent.h"
 
+#include <chrono>
+
+#include "src/telemetry/metrics.h"
+
 namespace pivot {
+
+namespace {
+
+telemetry::Counter& ReportsCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("agent.reports");
+  return c;
+}
+
+telemetry::Counter& ReportBytesCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("agent.report_bytes");
+  return c;
+}
+
+telemetry::Counter& DroppedTuplesCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("agent.tuples_dropped");
+  return c;
+}
+
+telemetry::Counter& EmittedTuplesCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("agent.tuples_emitted");
+  return c;
+}
+
+telemetry::Histogram& FlushNanosHistogram() {
+  static telemetry::Histogram& h = telemetry::Metrics().GetHistogram("agent.flush_nanos");
+  return h;
+}
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 PTAgent::PTAgent(MessageBus* bus, TracepointRegistry* registry, ProcessInfo info)
     : bus_(bus), registry_(registry), info_(std::move(info)) {
@@ -24,7 +63,7 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (queries_.count(cmd.query_id) != 0) {
-          return;  // Duplicate weave; ignore.
+          return;  // Duplicate weave; ignore (no re-ack either).
         }
         QueryState state;
         state.plan = cmd.plan;
@@ -35,6 +74,12 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
       // not define are woven lazily if/when they are defined (deferred
       // weaving), and foreign tracepoints simply never fire here.
       (void)registry_->WeaveQuery(cmd.query_id, cmd.advice);
+      WeaveAck ack;
+      ack.query_id = cmd.query_id;
+      ack.host = info_.host;
+      ack.process_name = info_.process_name;
+      ack.timestamp_micros = runtime_ != nullptr ? runtime_->NowMicros() : 0;
+      bus_->Publish(BusMessage{kReportTopic, EncodeWeaveAck(ack)});
       break;
     }
     case ControlMessageType::kUnweave: {
@@ -45,6 +90,8 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
     }
     case ControlMessageType::kReport:
     case ControlMessageType::kHello:
+    case ControlMessageType::kWeaveAck:
+    case ControlMessageType::kStats:
       break;  // Agents ignore other agents' traffic.
   }
 }
@@ -53,11 +100,14 @@ void PTAgent::EmitTuple(uint64_t query_id, const Tuple& t) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = queries_.find(query_id);
   if (it == queries_.end()) {
+    ++dropped_total_;
+    DroppedTuplesCounter().Increment();
     return;  // Query was unwoven concurrently; drop.
   }
   QueryState& state = it->second;
   ++state.emitted;
   ++emitted_total_;
+  EmittedTuplesCounter().Increment();
   if (state.plan.aggregated) {
     state.agg.AddInput(t);
   } else {
@@ -66,7 +116,11 @@ void PTAgent::EmitTuple(uint64_t query_id, const Tuple& t) {
 }
 
 void PTAgent::Flush(int64_t now_micros) {
+  int64_t flush_start = MonotonicNanos();
   std::vector<AgentReport> reports;
+  std::vector<AgentStats> heartbeats;
+  // queryId -> suppressed count, for the meta-tracepoint rows below.
+  std::vector<std::pair<uint64_t, uint64_t>> flushed_meta;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [query_id, state] : queries_) {
@@ -76,27 +130,63 @@ void PTAgent::Flush(int64_t now_micros) {
       report.process_name = info_.process_name;
       report.timestamp_micros = now_micros;
       report.aggregated = state.plan.aggregated;
-      if (state.plan.aggregated) {
-        if (state.agg.empty()) {
-          continue;
+      bool empty = state.plan.aggregated ? state.agg.empty() : state.buffered.empty();
+      if (empty) {
+        // Quiet interval: publish nothing, but count the suppression and
+        // heartbeat periodically so the frontend knows we are alive.
+        ++state.reports_suppressed;
+        if (++state.suppressed_since_heartbeat >= kFlushesPerSuppressedHeartbeat) {
+          state.suppressed_since_heartbeat = 0;
+          AgentStats hb;
+          hb.query_id = query_id;
+          hb.host = info_.host;
+          hb.process_name = info_.process_name;
+          hb.timestamp_micros = now_micros;
+          hb.last_report_micros = state.last_report_micros;
+          hb.reports_suppressed = state.reports_suppressed;
+          hb.tuples_emitted = state.emitted;
+          heartbeats.push_back(std::move(hb));
         }
+        continue;
+      }
+      if (state.plan.aggregated) {
         report.tuples = state.agg.StateTuples();
         state.agg.Clear();
       } else {
-        if (state.buffered.empty()) {
-          continue;
-        }
         report.tuples = std::move(state.buffered);
         state.buffered.clear();
       }
+      state.last_report_micros = now_micros;
+      state.suppressed_since_heartbeat = 0;
       reported_total_ += report.tuples.size();
       ++reports_published_;
+      flushed_meta.emplace_back(query_id, state.reports_suppressed);
       reports.push_back(std::move(report));
     }
   }
-  for (const auto& report : reports) {
-    bus_->Publish(BusMessage{kReportTopic, EncodeReport(report)});
+  // Publish and meta-fire outside the lock: advice woven at PTAgent.Flush
+  // calls back into EmitTuple, which takes mu_. Tuples it emits land in the
+  // *next* interval, so self-observation converges instead of recursing.
+  const Tracepoint* flush_tp = runtime_ != nullptr ? runtime_->meta.agent_flush : nullptr;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    std::vector<uint8_t> encoded = EncodeReport(reports[i]);
+    ReportsCounter().Increment();
+    ReportBytesCounter().Increment(encoded.size());
+    size_t report_bytes = encoded.size();
+    bus_->Publish(BusMessage{kReportTopic, std::move(encoded)});
+    if (flush_tp != nullptr && flush_tp->enabled()) {
+      ExecutionContext ctx(runtime_);
+      flush_tp->Invoke(&ctx,
+                       {{"queryId", Value(static_cast<int64_t>(flushed_meta[i].first))},
+                        {"tuples", Value(static_cast<int64_t>(reports[i].tuples.size()))},
+                        {"bytes", Value(static_cast<int64_t>(report_bytes))},
+                        {"suppressed", Value(static_cast<int64_t>(flushed_meta[i].second))}});
+    }
   }
+  for (const auto& hb : heartbeats) {
+    bus_->Publish(BusMessage{kReportTopic, EncodeAgentStats(hb)});
+  }
+  FlushNanosHistogram().Observe(static_cast<uint64_t>(MonotonicNanos() - flush_start));
 }
 
 uint64_t PTAgent::emitted_tuples() const {
@@ -112,6 +202,21 @@ uint64_t PTAgent::reported_tuples() const {
 uint64_t PTAgent::reports_published() const {
   std::lock_guard<std::mutex> lock(mu_);
   return reports_published_;
+}
+
+uint64_t PTAgent::dropped_tuples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_total_;
+}
+
+std::vector<AgentQueryStats> PTAgent::QueryStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AgentQueryStats> out;
+  out.reserve(queries_.size());
+  for (const auto& [query_id, state] : queries_) {
+    out.push_back({query_id, state.emitted, state.last_report_micros, state.reports_suppressed});
+  }
+  return out;
 }
 
 }  // namespace pivot

@@ -29,6 +29,19 @@
 
 namespace pivot {
 
+// After this many consecutive empty flushes for a query, the agent publishes
+// a kStats heartbeat so the frontend can tell a quiet query from a dead
+// agent, then restarts the count (docs/OBSERVABILITY.md).
+inline constexpr uint64_t kFlushesPerSuppressedHeartbeat = 10;
+
+// Per-query agent-side accounting row (PTAgent::QueryStats).
+struct AgentQueryStats {
+  uint64_t query_id = 0;
+  uint64_t emitted = 0;             // Tuples advice handed the agent.
+  int64_t last_report_micros = -1;  // Last non-empty report; -1 if never.
+  uint64_t reports_suppressed = 0;  // Empty flushes since weave.
+};
+
 class PTAgent : public EmitSink {
  public:
   // `registry` is the process's tracepoint registry the agent weaves into;
@@ -40,13 +53,19 @@ class PTAgent : public EmitSink {
   PTAgent(const PTAgent&) = delete;
   PTAgent& operator=(const PTAgent&) = delete;
 
+  // Optional: the process runtime this agent serves. Enables self-telemetry —
+  // weave-ack/heartbeat timestamps from the runtime clock, and firing the
+  // `PTAgent.Flush` meta-tracepoint after each flush (runtime->meta).
+  void set_runtime(ProcessRuntime* runtime) { runtime_ = runtime; }
+
   // EmitSink: advice output lands here and is partially aggregated (or
   // buffered, for streaming queries) per source query.
   void EmitTuple(uint64_t query_id, const Tuple& t) override;
 
   // Publishes one report per active query covering the interval ending at
   // `now_micros`, then resets interval state. Queries with nothing to report
-  // publish nothing (quiet processes stay quiet on the bus).
+  // publish nothing (quiet processes stay quiet on the bus) but count the
+  // suppression and heartbeat every kFlushesPerSuppressedHeartbeat.
   void Flush(int64_t now_micros);
 
   // ---- Statistics (used by the overhead/traffic benches) ----
@@ -56,6 +75,11 @@ class PTAgent : public EmitSink {
   // Tuples shipped to the frontend in reports (post partial aggregation).
   uint64_t reported_tuples() const;
   uint64_t reports_published() const;
+  // Tuples emitted for queries this agent does not (or no longer) track.
+  uint64_t dropped_tuples() const;
+
+  // Per-query accounting, sorted by query id.
+  std::vector<AgentQueryStats> QueryStats() const;
 
   const ProcessInfo& info() const { return info_; }
 
@@ -67,11 +91,15 @@ class PTAgent : public EmitSink {
     Aggregator agg{{}, {}};        // Interval partial aggregation.
     std::vector<Tuple> buffered;   // Streaming rows for this interval.
     uint64_t emitted = 0;
+    int64_t last_report_micros = -1;         // Last non-empty report.
+    uint64_t reports_suppressed = 0;         // Empty flushes, total.
+    uint64_t suppressed_since_heartbeat = 0; // Empty flushes since last kStats.
   };
 
   MessageBus* bus_;
   TracepointRegistry* registry_;
   ProcessInfo info_;
+  ProcessRuntime* runtime_ = nullptr;
   MessageBus::SubscriberId subscription_ = 0;
 
   mutable std::mutex mu_;
@@ -79,6 +107,7 @@ class PTAgent : public EmitSink {
   uint64_t emitted_total_ = 0;
   uint64_t reported_total_ = 0;
   uint64_t reports_published_ = 0;
+  uint64_t dropped_total_ = 0;
 };
 
 }  // namespace pivot

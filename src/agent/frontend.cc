@@ -1,6 +1,12 @@
 #include "src/agent/frontend.h"
 
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+
 #include "src/query/parser.h"
+#include "src/telemetry/metrics.h"
 
 namespace pivot {
 
@@ -11,6 +17,21 @@ Frontend::Frontend(MessageBus* bus, const TracepointRegistry* schema)
 }
 
 Frontend::~Frontend() { bus_->Unsubscribe(subscription_); }
+
+void Frontend::set_now_micros(std::function<int64_t()> now_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_micros_ = std::move(now_micros);
+}
+
+int64_t Frontend::NowMicros() const {
+  // Callers hold mu_.
+  if (now_micros_) {
+    return now_micros_();
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 Status Frontend::RegisterNamedQuery(const std::string& name, std::string_view text) {
   Result<Query> q = ParseQuery(text);
@@ -87,6 +108,7 @@ Result<uint64_t> Frontend::InstallCompiled(CompiledQuery compiled) {
     std::lock_guard<std::mutex> lock(mu_);
     QueryResults results;
     results.compiled = std::move(compiled);
+    results.installed_micros = NowMicros();
     // The frontend's cumulative/interval aggregators combine *state tuples*
     // from agents, so every spec switches to the combiner path.
     std::vector<AggSpec> combine_specs = cmd.plan.aggs;
@@ -110,6 +132,7 @@ Status Frontend::Uninstall(uint64_t query_id) {
       return NotFoundError("unknown query: " + std::to_string(query_id));
     }
     it->second.active = false;
+    it->second.uninstalled_micros = NowMicros();
   }
   bus_->Publish(BusMessage{kCommandTopic, EncodeUnweave(query_id)});
   return Status::Ok();
@@ -152,6 +175,32 @@ void Frontend::HandleReport(const BusMessage& msg) {
     }
     return;
   }
+  if (decoded->type == ControlMessageType::kWeaveAck) {
+    const WeaveAck& ack = decoded->weave_ack;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(ack.query_id);
+    if (it == queries_.end()) {
+      return;
+    }
+    QueryResults& q = it->second;
+    if (q.first_ack_micros < 0) {
+      q.first_ack_micros = ack.timestamp_micros;
+    }
+    q.agents[ack.host + "/" + ack.process_name].ack_micros = ack.timestamp_micros;
+    return;
+  }
+  if (decoded->type == ControlMessageType::kStats) {
+    const AgentStats& stats = decoded->stats;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(stats.query_id);
+    if (it == queries_.end()) {
+      return;
+    }
+    AgentQueryView& view = it->second.agents[stats.host + "/" + stats.process_name];
+    view.last_heartbeat_micros = stats.timestamp_micros;
+    view.reports_suppressed = stats.reports_suppressed;
+    return;
+  }
   if (decoded->type != ControlMessageType::kReport) {
     return;
   }
@@ -168,6 +217,16 @@ void Frontend::HandleReport(const BusMessage& msg) {
     QueryResults& q = it->second;
     ++reports_received_;
     tuples_received_ += report.tuples.size();
+    if (!report.tuples.empty()) {
+      if (q.first_tuple_micros < 0) {
+        q.first_tuple_micros = report.timestamp_micros;
+      }
+      q.last_report_micros = std::max(q.last_report_micros, report.timestamp_micros);
+    }
+    AgentQueryView& view = q.agents[report.host + "/" + report.process_name];
+    view.last_report_micros = std::max(view.last_report_micros, report.timestamp_micros);
+    ++view.reports;
+    view.tuples += report.tuples.size();
 
     if (q.compiled.aggregated) {
       auto [interval_it, inserted] = q.interval_aggs.try_emplace(
@@ -266,6 +325,170 @@ uint64_t Frontend::reports_received() const {
 uint64_t Frontend::tuples_received() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tuples_received_;
+}
+
+std::vector<Frontend::QueryStatus> Frontend::QueryStatuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryStatus> out;
+  out.reserve(queries_.size());
+  for (const auto& [id, q] : queries_) {
+    QueryStatus s;
+    s.query_id = id;
+    s.active = q.active;
+    s.aggregated = q.compiled.aggregated;
+    std::set<std::string> tps;
+    for (const auto& [tp, adv] : q.compiled.advice) {
+      tps.insert(tp);
+    }
+    s.tracepoints.assign(tps.begin(), tps.end());
+    s.installed_micros = q.installed_micros;
+    s.first_ack_micros = q.first_ack_micros;
+    s.first_tuple_micros = q.first_tuple_micros;
+    s.last_report_micros = q.last_report_micros;
+    s.uninstalled_micros = q.uninstalled_micros;
+    for (const auto& [key, view] : q.agents) {
+      s.reports += view.reports;
+      s.tuples += view.tuples;
+    }
+    s.agents = q.agents;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+// "quiet" = no data but the agent proved liveness (ack/heartbeat/report);
+// "no signal" = the frontend has heard nothing for this query from anybody.
+std::string AgentHealth(const AgentQueryView& v) {
+  if (v.last_report_micros >= 0 &&
+      v.last_report_micros >= v.last_heartbeat_micros) {
+    return "reporting";
+  }
+  if (v.last_heartbeat_micros >= 0) {
+    return "quiet (heartbeating)";
+  }
+  if (v.ack_micros >= 0) {
+    return "woven, no data yet";
+  }
+  return "no signal";
+}
+
+void AppendMicros(std::ostringstream* os, const char* label, int64_t micros) {
+  *os << label << "=";
+  if (micros < 0) {
+    *os << "never";
+  } else {
+    *os << micros;
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Frontend::StatusReport() const {
+  std::vector<QueryStatus> statuses = QueryStatuses();
+  std::ostringstream os;
+  os << "=== Pivot Tracing status ===\n";
+  os << "queries: " << statuses.size() << "  reports: " << reports_received()
+     << "  tuples: " << tuples_received() << "\n";
+  for (const auto& s : statuses) {
+    os << "\nquery " << s.query_id << " [" << (s.active ? "active" : "uninstalled") << ", "
+       << (s.aggregated ? "aggregated" : "streaming") << "]\n";
+    os << "  tracepoints:";
+    for (const auto& tp : s.tracepoints) {
+      os << " " << tp;
+    }
+    os << "\n  lifecycle: ";
+    AppendMicros(&os, "installed", s.installed_micros);
+    os << "  ";
+    AppendMicros(&os, "first_ack", s.first_ack_micros);
+    os << "  ";
+    AppendMicros(&os, "first_tuple", s.first_tuple_micros);
+    os << "  ";
+    AppendMicros(&os, "last_report", s.last_report_micros);
+    if (s.uninstalled_micros >= 0) {
+      os << "  ";
+      AppendMicros(&os, "uninstalled", s.uninstalled_micros);
+    }
+    os << "\n  totals: reports=" << s.reports << " tuples=" << s.tuples << "\n";
+    for (const auto& [agent, view] : s.agents) {
+      os << "  agent " << agent << ": " << AgentHealth(view) << "  reports=" << view.reports
+         << " tuples=" << view.tuples << " suppressed=" << view.reports_suppressed << "  ";
+      AppendMicros(&os, "last_report", view.last_report_micros);
+      os << " ";
+      AppendMicros(&os, "last_heartbeat", view.last_heartbeat_micros);
+      os << "\n";
+    }
+  }
+  os << "\n--- bus topics ---\n";
+  for (const auto& t : bus_->TopicSnapshot()) {
+    os << t.topic << ": published=" << t.published << " delivered=" << t.delivered
+       << " bytes=" << t.bytes << " no_subscriber=" << t.no_subscriber
+       << " subscribers=" << t.subscribers << "\n";
+  }
+  os << "\n--- telemetry ---\n" << telemetry::Metrics().RenderText();
+  return os.str();
+}
+
+std::string Frontend::StatusReportJson() const {
+  std::vector<QueryStatus> statuses = QueryStatuses();
+  std::ostringstream os;
+  os << "{\"queries\":[";
+  bool first_q = true;
+  for (const auto& s : statuses) {
+    if (!first_q) os << ",";
+    first_q = false;
+    os << "{\"id\":" << s.query_id << ",\"active\":" << (s.active ? "true" : "false")
+       << ",\"aggregated\":" << (s.aggregated ? "true" : "false") << ",\"tracepoints\":[";
+    for (size_t i = 0; i < s.tracepoints.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << JsonEscape(s.tracepoints[i]) << "\"";
+    }
+    os << "],\"installed_micros\":" << s.installed_micros
+       << ",\"first_ack_micros\":" << s.first_ack_micros
+       << ",\"first_tuple_micros\":" << s.first_tuple_micros
+       << ",\"last_report_micros\":" << s.last_report_micros
+       << ",\"uninstalled_micros\":" << s.uninstalled_micros << ",\"reports\":" << s.reports
+       << ",\"tuples\":" << s.tuples << ",\"agents\":{";
+    bool first_a = true;
+    for (const auto& [agent, view] : s.agents) {
+      if (!first_a) os << ",";
+      first_a = false;
+      os << "\"" << JsonEscape(agent) << "\":{\"health\":\"" << JsonEscape(AgentHealth(view))
+         << "\",\"ack_micros\":" << view.ack_micros
+         << ",\"last_report_micros\":" << view.last_report_micros
+         << ",\"last_heartbeat_micros\":" << view.last_heartbeat_micros
+         << ",\"reports\":" << view.reports << ",\"tuples\":" << view.tuples
+         << ",\"reports_suppressed\":" << view.reports_suppressed << "}";
+    }
+    os << "}}";
+  }
+  os << "],\"bus\":[";
+  bool first_t = true;
+  for (const auto& t : bus_->TopicSnapshot()) {
+    if (!first_t) os << ",";
+    first_t = false;
+    os << "{\"topic\":\"" << JsonEscape(t.topic) << "\",\"published\":" << t.published
+       << ",\"delivered\":" << t.delivered << ",\"bytes\":" << t.bytes
+       << ",\"no_subscriber\":" << t.no_subscriber << ",\"subscribers\":" << t.subscribers << "}";
+  }
+  os << "],\"telemetry\":" << telemetry::Metrics().RenderJson() << "}";
+  return os.str();
 }
 
 }  // namespace pivot

@@ -24,6 +24,17 @@
 
 namespace pivot {
 
+// One agent's view of one query, as the frontend knows it (from weave acks,
+// reports, and kStats heartbeats). Key: "host/process_name".
+struct AgentQueryView {
+  int64_t ack_micros = -1;             // Weave acknowledged; -1 if never.
+  int64_t last_report_micros = -1;     // Last non-empty report; -1 if never.
+  int64_t last_heartbeat_micros = -1;  // Last kStats heartbeat; -1 if never.
+  uint64_t reports = 0;                // Non-empty reports received.
+  uint64_t tuples = 0;                 // Tuples received in those reports.
+  uint64_t reports_suppressed = 0;     // From the latest heartbeat.
+};
+
 class Frontend {
  public:
   // `schema` is a registry holding every tracepoint definition in the system,
@@ -33,6 +44,11 @@ class Frontend {
 
   Frontend(const Frontend&) = delete;
   Frontend& operator=(const Frontend&) = delete;
+
+  // Clock used to timestamp query lifecycle events (install/first-tuple/
+  // uninstall). Defaults to the wall clock; the simulator installs simulated
+  // time so StatusReport lines up with agent report timestamps.
+  void set_now_micros(std::function<int64_t()> now_micros);
 
   // Named-query registry for subquery joins (register Q8, then install Q9).
   Status RegisterNamedQuery(const std::string& name, std::string_view text);
@@ -87,6 +103,29 @@ class Frontend {
   uint64_t reports_received() const;
   uint64_t tuples_received() const;
 
+  // Query lifecycle + per-agent health snapshot (docs/OBSERVABILITY.md).
+  struct QueryStatus {
+    uint64_t query_id = 0;
+    bool active = true;
+    bool aggregated = false;
+    std::vector<std::string> tracepoints;  // Advice targets, sorted unique.
+    int64_t installed_micros = -1;
+    int64_t first_ack_micros = -1;     // First agent weave ack.
+    int64_t first_tuple_micros = -1;   // First report carrying tuples.
+    int64_t last_report_micros = -1;   // Most recent non-empty report.
+    int64_t uninstalled_micros = -1;
+    uint64_t reports = 0;
+    uint64_t tuples = 0;
+    std::map<std::string, AgentQueryView> agents;  // "host/process" -> view.
+  };
+  std::vector<QueryStatus> QueryStatuses() const;
+
+  // Human-readable operational dump: per-query lifecycle and agent health
+  // (quiet vs dead), bus topic traffic, and the global telemetry registry.
+  // The JSON form carries the same data for machine consumption.
+  std::string StatusReport() const;
+  std::string StatusReportJson() const;
+
  private:
   struct QueryResults {
     CompiledQuery compiled;
@@ -96,9 +135,17 @@ class Frontend {
     std::vector<Tuple> total_rows;                      // Streaming queries.
     std::map<int64_t, Aggregator> interval_aggs;        // Aggregated queries.
     std::map<int64_t, std::vector<Tuple>> interval_rows;  // Streaming queries.
+    // Lifecycle (frontend clock; agent report timestamps for report events).
+    int64_t installed_micros = -1;
+    int64_t first_ack_micros = -1;
+    int64_t first_tuple_micros = -1;
+    int64_t last_report_micros = -1;
+    int64_t uninstalled_micros = -1;
+    std::map<std::string, AgentQueryView> agents;
   };
 
   void HandleReport(const BusMessage& msg);
+  int64_t NowMicros() const;
 
   MessageBus* bus_;
   const TracepointRegistry* schema_;
@@ -106,6 +153,7 @@ class Frontend {
   MessageBus::SubscriberId subscription_ = 0;
 
   mutable std::mutex mu_;
+  std::function<int64_t()> now_micros_;  // Guarded by mu_ (set once at setup).
   uint64_t next_query_id_ = 1;
   std::map<uint64_t, QueryResults> queries_;
   uint64_t reports_received_ = 0;

@@ -118,6 +118,29 @@ std::vector<uint8_t> EncodeHello() {
   return {static_cast<uint8_t>(ControlMessageType::kHello)};
 }
 
+std::vector<uint8_t> EncodeWeaveAck(const WeaveAck& ack) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(ControlMessageType::kWeaveAck));
+  PutVarint64(&out, ack.query_id);
+  PutString(&out, ack.host);
+  PutString(&out, ack.process_name);
+  PutVarintSigned64(&out, ack.timestamp_micros);
+  return out;
+}
+
+std::vector<uint8_t> EncodeAgentStats(const AgentStats& stats) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(ControlMessageType::kStats));
+  PutVarint64(&out, stats.query_id);
+  PutString(&out, stats.host);
+  PutString(&out, stats.process_name);
+  PutVarintSigned64(&out, stats.timestamp_micros);
+  PutVarintSigned64(&out, stats.last_report_micros);
+  PutVarint64(&out, stats.reports_suppressed);
+  PutVarint64(&out, stats.tuples_emitted);
+  return out;
+}
+
 Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload) {
   const uint8_t* data = payload.data();
   size_t size = payload.size();
@@ -180,6 +203,29 @@ Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload)
     case ControlMessageType::kHello:
       msg.type = ControlMessageType::kHello;
       return msg;
+    case ControlMessageType::kWeaveAck: {
+      msg.type = ControlMessageType::kWeaveAck;
+      WeaveAck& a = msg.weave_ack;
+      if (!GetVarint64(data, size, &pos, &a.query_id) || !GetString(data, size, &pos, &a.host) ||
+          !GetString(data, size, &pos, &a.process_name) ||
+          !GetVarintSigned64(data, size, &pos, &a.timestamp_micros)) {
+        return DataLossError("bad weave ack");
+      }
+      return msg;
+    }
+    case ControlMessageType::kStats: {
+      msg.type = ControlMessageType::kStats;
+      AgentStats& s = msg.stats;
+      if (!GetVarint64(data, size, &pos, &s.query_id) || !GetString(data, size, &pos, &s.host) ||
+          !GetString(data, size, &pos, &s.process_name) ||
+          !GetVarintSigned64(data, size, &pos, &s.timestamp_micros) ||
+          !GetVarintSigned64(data, size, &pos, &s.last_report_micros) ||
+          !GetVarint64(data, size, &pos, &s.reports_suppressed) ||
+          !GetVarint64(data, size, &pos, &s.tuples_emitted)) {
+        return DataLossError("bad agent stats");
+      }
+      return msg;
+    }
     default:
       return DataLossError("unknown control message type");
   }

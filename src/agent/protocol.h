@@ -47,6 +47,29 @@ struct AgentReport {
   std::vector<Tuple> tuples;
 };
 
+// Agent -> frontend: acknowledges that a weave command was applied locally.
+// Lets the frontend timestamp the install -> woven-everywhere transition in
+// StatusReport() instead of inferring it from the first report.
+struct WeaveAck {
+  uint64_t query_id = 0;
+  std::string host;
+  std::string process_name;
+  int64_t timestamp_micros = 0;
+};
+
+// Agent -> frontend heartbeat for a quiet query: the agent has data-free
+// flushes to report (suppressed reports), so the frontend can distinguish
+// "query matched nothing" from "agent stopped flushing" (docs/OBSERVABILITY.md).
+struct AgentStats {
+  uint64_t query_id = 0;
+  std::string host;
+  std::string process_name;
+  int64_t timestamp_micros = 0;       // When this heartbeat was produced.
+  int64_t last_report_micros = -1;    // Last non-empty report, -1 if never.
+  uint64_t reports_suppressed = 0;    // Empty flushes since weave.
+  uint64_t tuples_emitted = 0;        // Tuples this query emitted here, ever.
+};
+
 enum class ControlMessageType : uint8_t {
   kWeave = 1,
   kUnweave = 2,
@@ -56,12 +79,16 @@ enum class ControlMessageType : uint8_t {
   // start *after* a query was installed still weave it ("standing queries
   // for long-running system monitoring", §1).
   kHello = 4,
+  kWeaveAck = 5,
+  kStats = 6,
 };
 
 std::vector<uint8_t> EncodeWeave(const WeaveCommand& cmd);
 std::vector<uint8_t> EncodeUnweave(uint64_t query_id);
 std::vector<uint8_t> EncodeReport(const AgentReport& report);
 std::vector<uint8_t> EncodeHello();
+std::vector<uint8_t> EncodeWeaveAck(const WeaveAck& ack);
+std::vector<uint8_t> EncodeAgentStats(const AgentStats& stats);
 
 // Decoded union; `type` selects the valid member.
 struct ControlMessage {
@@ -69,6 +96,8 @@ struct ControlMessage {
   WeaveCommand weave;
   uint64_t unweave_query_id = 0;
   AgentReport report;
+  WeaveAck weave_ack;
+  AgentStats stats;
 };
 
 Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload);

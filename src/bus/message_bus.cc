@@ -1,6 +1,42 @@
 #include "src/bus/message_bus.h"
 
+#include <chrono>
+
+#include "src/telemetry/metrics.h"
+
 namespace pivot {
+
+namespace {
+
+// Global-registry mirrors of the bus counters, so StatusReport and the
+// telemetry dump see bus traffic without holding a bus pointer.
+telemetry::Counter& PublishCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("bus.publish.count");
+  return c;
+}
+
+telemetry::Counter& PublishBytesCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("bus.publish.bytes");
+  return c;
+}
+
+telemetry::Counter& NoSubscriberCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("bus.publish.no_subscriber");
+  return c;
+}
+
+telemetry::Histogram& CallbackNanosHistogram() {
+  static telemetry::Histogram& h = telemetry::Metrics().GetHistogram("bus.callback_nanos");
+  return h;
+}
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 MessageBus::SubscriberId MessageBus::Subscribe(std::string topic, Callback callback) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -28,18 +64,32 @@ void MessageBus::Publish(BusMessage msg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++published_;
+    TopicCounters& tc = counters_[msg.topic];
+    ++tc.published;
+    tc.bytes += msg.payload.size();
     auto it = topics_.find(msg.topic);
-    if (it != topics_.end()) {
+    if (it != topics_.end() && !it->second.empty()) {
       callbacks.reserve(it->second.size());
       for (const auto& sub : it->second) {
         callbacks.push_back(sub.callback);
       }
+    } else {
+      // Nobody listening: the message is silently lost. Count it — on a
+      // control topic this is the signature of a dead agent or frontend.
+      ++dropped_;
+      ++tc.no_subscriber;
+      NoSubscriberCounter().Increment();
     }
   }
+  PublishCounter().Increment();
+  PublishBytesCounter().Increment(msg.payload.size());
   for (const auto& cb : callbacks) {
+    int64_t start = MonotonicNanos();
     (*cb)(msg);
+    CallbackNanosHistogram().Observe(static_cast<uint64_t>(MonotonicNanos() - start));
     std::lock_guard<std::mutex> lock(mu_);
     ++delivered_;
+    ++counters_[msg.topic].delivered;
   }
 }
 
@@ -51,6 +101,29 @@ uint64_t MessageBus::published_count() const {
 uint64_t MessageBus::delivered_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return delivered_;
+}
+
+uint64_t MessageBus::dropped_publishes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TopicStats> MessageBus::TopicSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TopicStats> out;
+  out.reserve(counters_.size());
+  for (const auto& [topic, tc] : counters_) {
+    TopicStats row;
+    row.topic = topic;
+    row.published = tc.published;
+    row.delivered = tc.delivered;
+    row.bytes = tc.bytes;
+    row.no_subscriber = tc.no_subscriber;
+    auto it = topics_.find(topic);
+    row.subscribers = it == topics_.end() ? 0 : it->second.size();
+    out.push_back(std::move(row));
+  }
+  return out;
 }
 
 }  // namespace pivot

@@ -28,6 +28,17 @@ struct BusMessage {
 inline constexpr char kCommandTopic[] = "pivottracing/commands";
 inline constexpr char kReportTopic[] = "pivottracing/reports";
 
+// Per-topic traffic accounting (docs/OBSERVABILITY.md). Snapshots are taken
+// under the bus lock, so counts within one topic are mutually consistent.
+struct TopicStats {
+  std::string topic;
+  uint64_t published = 0;       // Publish calls on this topic.
+  uint64_t delivered = 0;       // Callback invocations.
+  uint64_t bytes = 0;           // Payload bytes published.
+  uint64_t no_subscriber = 0;   // Publishes that reached nobody.
+  uint64_t subscribers = 0;     // Current subscription count.
+};
+
 class MessageBus {
  public:
   using SubscriberId = uint64_t;
@@ -50,6 +61,12 @@ class MessageBus {
   // Diagnostics.
   uint64_t published_count() const;
   uint64_t delivered_count() const;
+  // Publishes to topics with no current subscriber — messages silently lost.
+  // Nonzero on a control topic means a dead/missing agent or frontend.
+  uint64_t dropped_publishes() const;
+
+  // Per-topic accounting, sorted by topic name.
+  std::vector<TopicStats> TopicSnapshot() const;
 
  private:
   struct Subscriber {
@@ -57,11 +74,20 @@ class MessageBus {
     std::shared_ptr<Callback> callback;
   };
 
+  struct TopicCounters {
+    uint64_t published = 0;
+    uint64_t delivered = 0;
+    uint64_t bytes = 0;
+    uint64_t no_subscriber = 0;
+  };
+
   mutable std::mutex mu_;
   SubscriberId next_id_ = 1;
   std::map<std::string, std::vector<Subscriber>> topics_;
+  std::map<std::string, TopicCounters> counters_;
   uint64_t published_ = 0;
   uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace pivot

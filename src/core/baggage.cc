@@ -4,8 +4,51 @@
 #include <cassert>
 
 #include "src/core/wire.h"
+#include "src/telemetry/metrics.h"
 
 namespace pivot {
+
+namespace {
+
+// Process-wide baggage telemetry (docs/OBSERVABILITY.md). Function-local
+// statics keep the hot paths at one relaxed RMW per event with no lookups.
+telemetry::Counter& PackCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("baggage.pack.count");
+  return c;
+}
+telemetry::Counter& SplitCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("baggage.split.count");
+  return c;
+}
+telemetry::Counter& JoinCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("baggage.join.count");
+  return c;
+}
+telemetry::Counter& SerializeCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("baggage.serialize.count");
+  return c;
+}
+telemetry::Counter& DeserializeCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("baggage.deserialize.count");
+  return c;
+}
+telemetry::Counter& DeserializeErrorCounter() {
+  static telemetry::Counter& c =
+      telemetry::Metrics().GetCounter("baggage.deserialize.errors");
+  return c;
+}
+telemetry::Histogram& SerializeBytesHistogram() {
+  static telemetry::Histogram& h =
+      telemetry::Metrics().GetHistogram("baggage.serialize.bytes");
+  return h;
+}
+telemetry::Histogram& SerializeTuplesHistogram() {
+  static telemetry::Histogram& h =
+      telemetry::Metrics().GetHistogram("baggage.serialize.tuples");
+  return h;
+}
+
+}  // namespace
 
 bool BagSpec::operator==(const BagSpec& other) const {
   return semantics == other.semantics && limit == other.limit &&
@@ -118,6 +161,7 @@ bool Baggage::Instance::has_tuples() const {
 }
 
 void Baggage::Pack(BagKey key, const BagSpec& spec, const Tuple& t) {
+  PackCounter().Increment();
   auto it = active_bags_.find(key);
   if (it == active_bags_.end()) {
     it = active_bags_.emplace(key, TupleBag(spec)).first;
@@ -163,6 +207,7 @@ std::vector<Tuple> Baggage::Unpack(BagKey key) const {
 }
 
 std::pair<Baggage, Baggage> Baggage::Split() const {
+  SplitCounter().Increment();
   auto [id1, id2] = active_id_.Split();
 
   // Each side receives a copy of the current contents as an inactive
@@ -183,6 +228,7 @@ std::pair<Baggage, Baggage> Baggage::Split() const {
 }
 
 Baggage Baggage::Join(const Baggage& a, const Baggage& b) {
+  JoinCounter().Increment();
   Baggage out;
   out.active_id_ = ItcId::Join(a.active_id_, b.active_id_);
   out.active_gen_ = std::max(a.active_gen_, b.active_gen_) + 1;
@@ -342,9 +388,11 @@ bool GetBagSpec(const uint8_t* data, size_t size, size_t* pos, BagSpec* spec) {
 
 namespace {
 
-void PutBags(std::vector<uint8_t>* out, const std::map<BagKey, TupleBag>& bags) {
+void PutBags(std::vector<uint8_t>* out, const std::map<BagKey, TupleBag>& bags,
+             Baggage::SerializeStats* stats) {
   PutVarint64(out, bags.size());
   for (const auto& [key, bag] : bags) {
+    size_t bag_start = out->size();
     PutVarint64(out, key);
     PutBagSpec(out, bag.spec());
     std::vector<Tuple> contents = bag.Contents();
@@ -353,6 +401,11 @@ void PutBags(std::vector<uint8_t>* out, const std::map<BagKey, TupleBag>& bags) 
       PutTuple(out, t);
     }
     PutVarint64(out, bag.dropped());
+    if (stats != nullptr) {
+      auto& share = stats->queries[BagKeyQuery(key)];
+      share.bytes += out->size() - bag_start;
+      share.tuples += bag.size();
+    }
   }
 }
 
@@ -397,24 +450,38 @@ bool GetBags(const uint8_t* data, size_t size, size_t* pos, std::map<BagKey, Tup
 
 }  // namespace
 
-std::vector<uint8_t> Baggage::Serialize() const {
+std::vector<uint8_t> Baggage::Serialize(SerializeStats* stats) const {
+  SerializeCounter().Increment();
   if (IsTrivial()) {
+    SerializeBytesHistogram().Observe(0);
+    if (stats != nullptr) {
+      *stats = SerializeStats{};
+      stats->instances = instance_count();
+    }
     return {};
   }
   std::vector<uint8_t> out;
   PutVarint64(&out, 1 + inactive_.size());
   PutVarint64(&out, active_gen_);
   active_id_.Encode(&out);
-  PutBags(&out, active_bags_);
+  PutBags(&out, active_bags_, stats);
   for (const auto& inst : inactive_) {
     PutVarint64(&out, inst.gen);
     inst.id.Encode(&out);
-    PutBags(&out, inst.bags);
+    PutBags(&out, inst.bags, stats);
+  }
+  SerializeBytesHistogram().Observe(out.size());
+  SerializeTuplesHistogram().Observe(TupleCount());
+  if (stats != nullptr) {
+    stats->bytes = out.size();
+    stats->tuples = TupleCount();
+    stats->instances = instance_count();
   }
   return out;
 }
 
 Result<Baggage> Baggage::Deserialize(const uint8_t* data, size_t size) {
+  DeserializeCounter().Increment();
   Baggage out;
   if (size == 0) {
     return out;  // Pristine baggage.
@@ -422,22 +489,26 @@ Result<Baggage> Baggage::Deserialize(const uint8_t* data, size_t size) {
   size_t pos = 0;
   uint64_t ninst = 0;
   if (!GetVarint64(data, size, &pos, &ninst) || ninst == 0 || ninst > size) {
+    DeserializeErrorCounter().Increment();
     return DataLossError("baggage: bad instance count");
   }
   if (!GetVarint64(data, size, &pos, &out.active_gen_) ||
       !ItcId::Decode(data, size, &pos, &out.active_id_) ||
       !GetBags(data, size, &pos, &out.active_bags_)) {
+    DeserializeErrorCounter().Increment();
     return DataLossError("baggage: bad active instance");
   }
   for (uint64_t i = 1; i < ninst; ++i) {
     Instance inst;
     if (!GetVarint64(data, size, &pos, &inst.gen) || !ItcId::Decode(data, size, &pos, &inst.id) ||
         !GetBags(data, size, &pos, &inst.bags)) {
+      DeserializeErrorCounter().Increment();
       return DataLossError("baggage: bad inactive instance");
     }
     out.inactive_.push_back(std::move(inst));
   }
   if (pos != size) {
+    DeserializeErrorCounter().Increment();
     return DataLossError("baggage: trailing bytes");
   }
   return out;

@@ -32,6 +32,13 @@ namespace pivot {
 // (one per packing stage), so keys are allocated per (query, stage).
 using BagKey = uint64_t;
 
+// Bag-key allocation convention (shared with the query compiler): key =
+// query_id * kBagKeysPerQuery + stage. BagKeyQuery recovers the owning query,
+// which the self-telemetry layer uses to attribute serialized baggage bytes
+// per query (Fig 10's per-query accounting, live).
+inline constexpr uint64_t kBagKeysPerQuery = 256;
+inline constexpr uint64_t BagKeyQuery(BagKey key) { return key / kBagKeysPerQuery; }
+
 // How a bag retains tuples (§3 "Pack also has the following special cases").
 enum class PackSemantics : uint8_t {
   kAll = 0,        // Unbounded append. Risky (a "full table scan", §4); the
@@ -145,9 +152,27 @@ class Baggage {
 
   // ---- Serialization (Table 4) ----
 
+  // Self-telemetry of one serialization: the numbers behind Fig 10 (baggage
+  // bytes on the wire) attributed per owning query.
+  struct SerializeStats {
+    struct QueryShare {
+      uint64_t bytes = 0;   // Encoded bag bytes (key + spec + tuples).
+      uint64_t tuples = 0;  // Retained tuples in those bags.
+    };
+    uint64_t bytes = 0;      // Total serialized size.
+    uint64_t tuples = 0;     // Retained tuples across all instances.
+    uint64_t instances = 0;  // Active + inactive instances.
+    // Keyed by BagKeyQuery(bag key); framing bytes (instance ids, counts)
+    // are the remainder bytes - sum(shares.bytes).
+    std::map<uint64_t, QueryShare> queries;
+  };
+
   // A pristine baggage (seed ID, no tuples anywhere) serializes to 0 bytes,
   // matching the paper's "empty baggage with a serialized size of 0 bytes".
-  std::vector<uint8_t> Serialize() const;
+  // The stats overload additionally reports the byte/tuple accounting above
+  // (only computed when requested — the plain overload stays allocation-lean).
+  std::vector<uint8_t> Serialize() const { return Serialize(nullptr); }
+  std::vector<uint8_t> Serialize(SerializeStats* stats) const;
   static Result<Baggage> Deserialize(const uint8_t* data, size_t size);
   static Result<Baggage> Deserialize(const std::vector<uint8_t>& bytes) {
     return Deserialize(bytes.data(), bytes.size());

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/core/tracepoint.h"
+
 namespace pivot {
 
 int64_t ProcessRuntime::NowMicros() const {
@@ -57,6 +59,44 @@ void ExecutionContext::Join(ExecutionContext&& other) {
   other.baggage_.Clear();
 }
 
+std::vector<uint8_t> SerializeBaggageWithMeta(ExecutionContext* ctx) {
+  if (ctx == nullptr) {
+    return {};
+  }
+  const Tracepoint* tp =
+      ctx->runtime() != nullptr ? ctx->runtime()->meta.baggage_serialize : nullptr;
+  // Fire only when someone is listening: the stats pass walks every bag, so
+  // skip it unless advice is woven (or a ground-truth trace wants the event).
+  bool fire = tp != nullptr && (tp->enabled() || ctx->recorder() != nullptr);
+  if (!fire) {
+    return ctx->baggage().Serialize();
+  }
+  Baggage::SerializeStats stats;
+  std::vector<uint8_t> bytes = ctx->baggage().Serialize(&stats);
+  if (stats.bytes == 0) {
+    // Trivial baggage serializes to nothing; no event to report.
+    return bytes;
+  }
+  uint64_t attributed = 0;
+  for (const auto& [query_id, share] : stats.queries) {
+    attributed += share.bytes;
+    tp->Invoke(ctx, {{"queryId", Value(static_cast<int64_t>(query_id))},
+                     {"bytes", Value(static_cast<int64_t>(share.bytes))},
+                     {"tuples", Value(static_cast<int64_t>(share.tuples))},
+                     {"instances", Value(static_cast<int64_t>(stats.instances))}});
+  }
+  // Framing bytes (instance ids, counts, generation numbers) under queryId 0,
+  // so SUM(bytes) grouped or not equals the serialized size exactly.
+  uint64_t framing = stats.bytes > attributed ? stats.bytes - attributed : 0;
+  if (framing > 0) {
+    tp->Invoke(ctx, {{"queryId", Value(int64_t{0})},
+                     {"bytes", Value(static_cast<int64_t>(framing))},
+                     {"tuples", Value(int64_t{0})},
+                     {"instances", Value(static_cast<int64_t>(stats.instances))}});
+  }
+  return bytes;
+}
+
 namespace {
 
 thread_local ExecutionContext* g_current_context = nullptr;
@@ -86,7 +126,7 @@ std::vector<Tuple> ThreadBaggage::Unpack(BagKey key) {
 
 std::vector<uint8_t> ThreadBaggage::Serialize() {
   if (ExecutionContext* ctx = CurrentContext()) {
-    return ctx->baggage().Serialize();
+    return SerializeBaggageWithMeta(ctx);
   }
   return {};
 }

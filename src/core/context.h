@@ -45,6 +45,17 @@ struct ProcessInfo {
   int64_t process_id = 0;
 };
 
+class Tracepoint;
+
+// Per-process handles to the self-telemetry meta-tracepoints — ordinary
+// tracepoints whose events are the tracing system's own activity, so Pivot
+// Tracing queries can run over Pivot Tracing itself (telemetry/self_trace.h,
+// docs/OBSERVABILITY.md). Null members simply never fire.
+struct MetaTracepoints {
+  const Tracepoint* baggage_serialize = nullptr;  // exports queryId, bytes, tuples, instances
+  const Tracepoint* agent_flush = nullptr;        // exports queryId, tuples, bytes, suppressed
+};
+
 // Per-process runtime wiring shared by all requests executing in the process.
 // Lifetime: outlives every ExecutionContext that points at it.
 struct ProcessRuntime {
@@ -55,6 +66,8 @@ struct ProcessRuntime {
   // Destination for Emit ops; null drops emitted tuples (tracepoints woven
   // with no agent attached).
   EmitSink* sink = nullptr;
+  // Self-telemetry tracepoints of this process (telemetry::DefineSelfTracepoints).
+  MetaTracepoints meta;
 
   int64_t NowMicros() const;
 };
@@ -112,6 +125,16 @@ class ExecutionContext {
   uint64_t trace_id_ = 0;
   EventId current_event_ = kNoEvent;
 };
+
+// Serializes `ctx`'s baggage and, when the process defines a woven
+// `Baggage.Serialize` meta-tracepoint, fires it with the serialization's
+// byte/tuple accounting: one invocation per query contributing bags plus a
+// `queryId = 0` invocation carrying the framing bytes, so SUM(bytes) over the
+// invocations equals the serialized size. Equivalent to
+// `ctx->baggage().Serialize()` when the meta-tracepoint is absent or unwoven
+// (the stats pass is skipped entirely). Wire crossings should use this
+// instead of calling Serialize directly.
+std::vector<uint8_t> SerializeBaggageWithMeta(ExecutionContext* ctx);
 
 // ---- Thread-local current context (the paper's thread-local baggage) ----
 

@@ -1,8 +1,19 @@
 #include "src/core/tracepoint.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace pivot {
+
+namespace {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 void Tracepoint::InvokeSlow(ExecutionContext* ctx, const AdviceSet* set,
                             std::vector<Tuple::Field> exports) const {
@@ -28,9 +39,15 @@ void Tracepoint::InvokeSlow(ExecutionContext* ctx, const AdviceSet* set,
   }
 
   if (set != nullptr) {
+    woven_fires_.fetch_add(1, std::memory_order_relaxed);
+    // Advice execution time is real wall clock even under simulated time:
+    // it is the probe effect on the host, the quantity Table 5 bounds.
+    int64_t start = MonotonicNanos();
     for (const auto& [query_id, advice] : set->advice) {
       advice->Execute(ctx, tuple);
     }
+    advice_nanos_.fetch_add(static_cast<uint64_t>(MonotonicNanos() - start),
+                            std::memory_order_relaxed);
   }
 }
 
@@ -112,6 +129,16 @@ void TracepointRegistry::UnweaveQuery(uint64_t query_id) {
       RebuildLocked(tp_it->second.get());
     }
   }
+}
+
+std::vector<TracepointStatsRow> TracepointRegistry::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TracepointStatsRow> rows;
+  rows.reserve(tracepoints_.size());
+  for (const auto& [name, tp] : tracepoints_) {
+    rows.push_back({name, tp->fires(), tp->woven_fires(), tp->advice_nanos()});
+  }
+  return rows;
 }
 
 std::vector<uint64_t> TracepointRegistry::WovenQueries() const {

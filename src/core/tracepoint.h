@@ -77,13 +77,22 @@ class Tracepoint {
 
   // Fires the tracepoint for the execution in `ctx` with the given exported
   // variables. Fast path (no advice, no trace recording): one atomic load and
-  // a branch — the "zero-probe-effect" analogue measured in Table 5.
+  // a branch — the "zero-probe-effect" analogue measured in Table 5 — plus a
+  // plain-increment fire counter (see below).
   //
   // The slow path appends the default exports (host, timestamp/time, procid,
   // procname, tracepoint; §3), advances the ground-truth trace if recording,
   // and executes each woven advice program.
   void Invoke(ExecutionContext* ctx, std::vector<Tuple::Field> exports) const {
     const AdviceSet* set = advice_.load(std::memory_order_acquire);
+    // Self-telemetry fire counter. Deliberately a relaxed load+add+store
+    // (plain increment) rather than fetch_add: no lock-prefixed RMW on the
+    // fast path, so Table 5's probe-effect bound survives with telemetry
+    // compiled in (bench_telemetry_overhead). Concurrent racing increments
+    // may lose counts; monitoring tolerates that, correctness never reads it.
+    // Sequenced after the advice load so the branch is never waiting on the
+    // counter's store-to-load-forwarded dependency chain.
+    fires_.store(fires_.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
     if (set == nullptr && (ctx == nullptr || ctx->recorder() == nullptr)) {
       return;
     }
@@ -95,6 +104,22 @@ class Tracepoint {
     Invoke(CurrentContext(), std::move(exports));
   }
 
+  // ---- Self-telemetry (docs/OBSERVABILITY.md) ----
+
+  // Total invocations, woven or not. Lossy under write races (see Invoke).
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+  // Invocations that executed at least one woven advice program (exact).
+  uint64_t woven_fires() const { return woven_fires_.load(std::memory_order_relaxed); }
+  // Invocations that took the fast path or fired only for trace recording.
+  uint64_t unwoven_fires() const {
+    uint64_t f = fires();
+    uint64_t w = woven_fires();
+    return f > w ? f - w : 0;  // Racy reads may momentarily invert.
+  }
+  // Total wall-clock nanoseconds spent executing woven advice (exact;
+  // measured on the slow path only, where advice cost dwarfs the clock read).
+  uint64_t advice_nanos() const { return advice_nanos_.load(std::memory_order_relaxed); }
+
  private:
   friend class TracepointRegistry;
 
@@ -103,6 +128,17 @@ class Tracepoint {
 
   TracepointDef def_;
   std::atomic<const AdviceSet*> advice_{nullptr};
+  mutable std::atomic<uint64_t> fires_{0};
+  mutable std::atomic<uint64_t> woven_fires_{0};
+  mutable std::atomic<uint64_t> advice_nanos_{0};
+};
+
+// One row of TracepointRegistry::StatsSnapshot().
+struct TracepointStatsRow {
+  std::string name;
+  uint64_t fires = 0;
+  uint64_t woven_fires = 0;
+  uint64_t advice_nanos = 0;
 };
 
 // Owns tracepoints and manages weaving. One registry per instrumented system
@@ -143,6 +179,10 @@ class TracepointRegistry {
 
   // Ids of currently-woven queries, sorted.
   std::vector<uint64_t> WovenQueries() const;
+
+  // Per-tracepoint dispatch statistics (fire counts, advice time), sorted by
+  // name — the data behind Table 5's per-tracepoint overhead accounting.
+  std::vector<TracepointStatsRow> StatsSnapshot() const;
 
  private:
   void RebuildLocked(Tracepoint* tp);

@@ -1,5 +1,7 @@
 #include "src/hadoop/tracepoints.h"
 
+#include "src/telemetry/self_trace.h"
+
 namespace pivot {
 
 Tracepoint* GetOrDefineTracepoint(SimProcess* proc, TracepointDef def) {
@@ -24,6 +26,9 @@ void RegisterHadoopTracepointDefs(TracepointRegistry* schema) {
       (void)result;
     }
   }
+  // The self-telemetry meta-tracepoints are part of the queryable vocabulary
+  // wherever the Hadoop stack is (SimProcess defines them per process).
+  telemetry::RegisterSelfTracepointDefs(schema);
 }
 
 namespace {

@@ -234,7 +234,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Query& q, uint64_t query_id) 
 
   // Assign bag keys to packing stages.
   for (size_t i = 0; i < stages.size(); ++i) {
-    stages[i].bag = query_id * 256 + i;
+    stages[i].bag = query_id * kBagKeysPerQuery + i;
   }
 
   // Attach lets to their stages (in declaration order).
@@ -757,7 +757,9 @@ CompiledQuery MakeCountingQuery(const CompiledQuery& original, uint64_t shadow_i
   out.aggs = {AggSpec{AggFn::kCount, "", "COUNT", false}};
   out.output_columns = {"$stage", "COUNT"};
 
-  auto remap_bag = [shadow_id](BagKey bag) { return shadow_id * 256 + bag % 256; };
+  auto remap_bag = [shadow_id](BagKey bag) {
+    return shadow_id * kBagKeysPerQuery + bag % kBagKeysPerQuery;
+  };
 
   for (const auto& [tp, adv] : original.advice) {
     std::vector<Advice::Op> ops;

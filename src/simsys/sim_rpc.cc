@@ -17,7 +17,7 @@ void SimRpcCall(SimProcess* client, SimProcess* server, CtxPtr ctx, uint64_t req
   SimWorld* world = client->world();
   SimEnvironment* env = world->env();
 
-  std::vector<uint8_t> baggage_bytes = ctx->baggage().Serialize();
+  std::vector<uint8_t> baggage_bytes = SerializeBaggageWithMeta(ctx.get());
   ++RpcStats::total_calls;
   RpcStats::total_baggage_bytes += baggage_bytes.size();
   uint64_t wire_bytes = request_bytes + baggage_bytes.size();
@@ -50,7 +50,7 @@ void SimRpcCall(SimProcess* client, SimProcess* server, CtxPtr ctx, uint64_t req
       RpcRespond respond = [client, server, done = std::move(done), same_host](
                                CtxPtr response_ctx, uint64_t response_bytes) mutable {
         SimEnvironment* env2 = client->world()->env();
-        std::vector<uint8_t> response_baggage = response_ctx->baggage().Serialize();
+        std::vector<uint8_t> response_baggage = SerializeBaggageWithMeta(response_ctx.get());
         RpcStats::total_baggage_bytes += response_baggage.size();
         uint64_t response_wire = response_bytes + response_baggage.size();
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/telemetry/self_trace.h"
+
 namespace pivot {
 
 SimHost::SimHost(SimEnvironment* env, std::string name, double disk_bytes_per_sec,
@@ -34,6 +36,14 @@ SimProcess::SimProcess(SimWorld* world, SimHost* host, std::string process_name,
   runtime_.now_micros = [env] { return env->now_micros(); };
   agent_ = std::make_unique<PTAgent>(world_->bus(), &registry_, runtime_.info);
   runtime_.sink = agent_.get();
+  // Self-telemetry: every simulated process defines the meta-tracepoints
+  // (mirrored into the schema via DefineTracepoint) so queries over Pivot
+  // Tracing's own activity weave here like any other tracepoint.
+  for (TracepointDef def : telemetry::SelfTracepointDefs()) {
+    DefineTracepoint(std::move(def));
+  }
+  telemetry::BindMetaTracepoints(registry_, &runtime_.meta);
+  agent_->set_runtime(&runtime_);
 }
 
 Tracepoint* SimProcess::DefineTracepoint(TracepointDef def) {
@@ -60,7 +70,11 @@ int64_t SimProcess::PauseDelay() const {
   return paused_until_ > now ? paused_until_ - now : 0;
 }
 
-SimWorld::SimWorld() { frontend_ = std::make_unique<Frontend>(&bus_, &schema_); }
+SimWorld::SimWorld() {
+  frontend_ = std::make_unique<Frontend>(&bus_, &schema_);
+  SimEnvironment* env = &env_;
+  frontend_->set_now_micros([env] { return env->now_micros(); });
+}
 
 SimHost* SimWorld::AddHost(std::string name, double disk_bytes_per_sec,
                            double nic_bytes_per_sec) {

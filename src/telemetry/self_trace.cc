@@ -1,0 +1,55 @@
+#include "src/telemetry/self_trace.h"
+
+namespace pivot {
+namespace telemetry {
+
+TracepointDef BaggageSerializeDef() {
+  TracepointDef def;
+  def.name = kTpBaggageSerialize;
+  def.exports = {"queryId", "bytes", "tuples", "instances"};
+  def.class_name = "pivot::Baggage";
+  def.method_name = "Serialize";
+  def.site = TracepointSite::kExit;
+  return def;
+}
+
+TracepointDef AgentFlushDef() {
+  TracepointDef def;
+  def.name = kTpAgentFlush;
+  def.exports = {"queryId", "tuples", "bytes", "suppressed"};
+  def.class_name = "pivot::PTAgent";
+  def.method_name = "Flush";
+  def.site = TracepointSite::kExit;
+  return def;
+}
+
+std::vector<TracepointDef> SelfTracepointDefs() {
+  return {BaggageSerializeDef(), AgentFlushDef()};
+}
+
+void DefineSelfTracepoints(TracepointRegistry* registry, MetaTracepoints* meta) {
+  for (TracepointDef& def : SelfTracepointDefs()) {
+    if (registry->Find(def.name) == nullptr) {
+      Result<Tracepoint*> tp = registry->Define(std::move(def));
+      (void)tp;
+    }
+  }
+  BindMetaTracepoints(*registry, meta);
+}
+
+void BindMetaTracepoints(const TracepointRegistry& registry, MetaTracepoints* meta) {
+  meta->baggage_serialize = registry.Find(kTpBaggageSerialize);
+  meta->agent_flush = registry.Find(kTpAgentFlush);
+}
+
+void RegisterSelfTracepointDefs(TracepointRegistry* schema) {
+  for (TracepointDef& def : SelfTracepointDefs()) {
+    if (schema->Find(def.name) == nullptr) {
+      Result<Tracepoint*> result = schema->Define(std::move(def));
+      (void)result;
+    }
+  }
+}
+
+}  // namespace telemetry
+}  // namespace pivot

@@ -1,0 +1,70 @@
+// Meta-tracing: Pivot Tracing instruments itself.
+//
+// The telemetry subsystem's own events are exposed as ordinary
+// pivot::Tracepoints, so users can run ordinary Pivot Tracing queries *over
+// Pivot Tracing* — e.g.
+//
+//   From b In Baggage.Serialize
+//   GroupBy b.queryId
+//   Select b.queryId, SUM(b.bytes)
+//
+// reproduces Fig 10 (baggage bytes on the wire, attributed per query) live,
+// from inside the system, and
+//
+//   From f In PTAgent.Flush GroupBy f.host Select f.host, SUM(f.tuples)
+//
+// reproduces the §6 tuple-traffic accounting. The meta-tracepoints obey the
+// same contract as application tracepoints: unwoven they cost one relaxed
+// load + branch (the fire sites additionally gate on Tracepoint::enabled()
+// so that export materialization is skipped entirely), and advice can be
+// woven/unwoven at any time.
+//
+// Fire sites:
+//   Baggage.Serialize — wire crossings (sim RPC) and ThreadBaggage's Table 4
+//     static API, via SerializeBaggageWithMeta (context.h). One invocation
+//     per query contributing bags, plus one `queryId = 0` invocation carrying
+//     the framing bytes (instance ids, counts), so SUM(b.bytes) equals the
+//     actual serialized size.
+//   PTAgent.Flush — once per (query, flush) in PTAgent::Flush, whether or not
+//     the query had anything to report (`suppressed` marks quiet intervals).
+
+#ifndef PIVOT_SRC_TELEMETRY_SELF_TRACE_H_
+#define PIVOT_SRC_TELEMETRY_SELF_TRACE_H_
+
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/core/tracepoint.h"
+
+namespace pivot {
+namespace telemetry {
+
+// Meta-tracepoint names (query-facing vocabulary).
+inline constexpr char kTpBaggageSerialize[] = "Baggage.Serialize";
+inline constexpr char kTpAgentFlush[] = "PTAgent.Flush";
+
+// Definition builders.
+TracepointDef BaggageSerializeDef();  // exports queryId, bytes, tuples, instances
+TracepointDef AgentFlushDef();        // exports queryId, tuples, bytes, suppressed
+
+// All meta-tracepoint definitions.
+std::vector<TracepointDef> SelfTracepointDefs();
+
+// Defines every meta-tracepoint in `registry` (skipping names already
+// defined) and points `meta` at the instances. Per-process setups that
+// mirror definitions elsewhere can instead define SelfTracepointDefs()
+// themselves and call BindMetaTracepoints.
+void DefineSelfTracepoints(TracepointRegistry* registry, MetaTracepoints* meta);
+
+// Looks up the meta-tracepoints by name in an already-populated registry.
+// Missing names leave the corresponding member null.
+void BindMetaTracepoints(const TracepointRegistry& registry, MetaTracepoints* meta);
+
+// Schema-only registration for query validation (mirrors the pattern of
+// RegisterHadoopTracepointDefs).
+void RegisterSelfTracepointDefs(TracepointRegistry* schema);
+
+}  // namespace telemetry
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_TELEMETRY_SELF_TRACE_H_

@@ -55,6 +55,31 @@ TEST(MessageBusTest, PublishWithNoSubscribersIsFine) {
   bus.Publish(BusMessage{"nobody", {9}});
   EXPECT_EQ(bus.published_count(), 1u);
   EXPECT_EQ(bus.delivered_count(), 0u);
+  EXPECT_EQ(bus.dropped_publishes(), 1u);
+}
+
+TEST(MessageBusTest, TopicSnapshotCountsPerTopicTraffic) {
+  MessageBus bus;
+  bus.Subscribe("sub", [](const BusMessage&) {});
+  bus.Subscribe("sub", [](const BusMessage&) {});
+  bus.Publish(BusMessage{"sub", {1, 2, 3}});
+  bus.Publish(BusMessage{"sub", {4}});
+  bus.Publish(BusMessage{"void", {5, 6}});
+
+  auto topics = bus.TopicSnapshot();
+  ASSERT_EQ(topics.size(), 2u);  // Sorted by topic name.
+  EXPECT_EQ(topics[0].topic, "sub");
+  EXPECT_EQ(topics[0].published, 2u);
+  EXPECT_EQ(topics[0].delivered, 4u);  // Two messages x two subscribers.
+  EXPECT_EQ(topics[0].bytes, 4u);
+  EXPECT_EQ(topics[0].no_subscriber, 0u);
+  EXPECT_EQ(topics[0].subscribers, 2u);
+  EXPECT_EQ(topics[1].topic, "void");
+  EXPECT_EQ(topics[1].published, 1u);
+  EXPECT_EQ(topics[1].delivered, 0u);
+  EXPECT_EQ(topics[1].no_subscriber, 1u);
+  EXPECT_EQ(topics[1].subscribers, 0u);
+  EXPECT_EQ(bus.dropped_publishes(), 1u);
 }
 
 TEST(MessageBusTest, ReentrantPublishFromCallback) {

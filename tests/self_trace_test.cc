@@ -1,0 +1,211 @@
+// End-to-end meta-tracing: Pivot Tracing queries over Pivot Tracing's own
+// virtual tracepoints (Baggage.Serialize, PTAgent.Flush), plus the frontend's
+// query-lifecycle / agent-health status reporting. docs/OBSERVABILITY.md.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/agent/agent.h"
+#include "src/hadoop/cluster.h"
+
+namespace pivot {
+namespace {
+
+// A Q2-style happened-before join: packs at ClientProtocols, unpacks at the
+// DataNode. This is the query whose baggage the meta-queries observe — a
+// single-tracepoint query never packs anything, so Baggage.Serialize would
+// stay silent without it.
+constexpr char kPackingQuery[] =
+    "From incr In DataNodeMetrics.incrBytesRead\n"
+    "Join cl In First(ClientProtocols) On cl -> incr\n"
+    "GroupBy cl.procName\nSelect cl.procName, SUM(incr.delta)";
+
+constexpr char kBaggageMetaQuery[] =
+    "From b In Baggage.Serialize\n"
+    "GroupBy b.queryId\nSelect b.queryId, SUM(b.bytes), SUM(b.tuples)";
+
+constexpr char kFlushMetaQuery[] =
+    "From f In PTAgent.Flush\n"
+    "GroupBy f.queryId\nSelect f.queryId, SUM(f.tuples), SUM(f.bytes)";
+
+class SelfTraceTest : public ::testing::Test {
+ protected:
+  SelfTraceTest() {
+    HadoopClusterConfig config;
+    config.worker_hosts = 4;
+    config.dataset_files = 50;
+    config.seed = 7;
+    cluster_ = std::make_unique<HadoopCluster>(config);
+  }
+
+  uint64_t Install(const char* text) {
+    Result<uint64_t> q = cluster_->world()->frontend()->Install(text);
+    EXPECT_TRUE(q.ok()) << text << "\n" << q.status().ToString();
+    return q.ok() ? *q : 0;
+  }
+
+  // One client reading HDFS until `horizon_micros`, agents flushing every
+  // second; runs the simulation dry.
+  void RunWorkload(int64_t horizon_micros) {
+    SimProcess* proc = cluster_->AddClient(cluster_->worker(0), "FSread");
+    HdfsReadWorkload reader(proc, cluster_->namenode(), 64 << 10, 5 * kMicrosPerMilli, false,
+                            42);
+    reader.Start(horizon_micros);
+    cluster_->world()->StartAgentFlushLoop(horizon_micros + 2 * kMicrosPerSecond);
+    cluster_->world()->env()->RunAll();
+  }
+
+  std::unique_ptr<HadoopCluster> cluster_;
+};
+
+TEST_F(SelfTraceTest, MetaTracepointsAreInSchema) {
+  // The virtual tracepoints are ordinary schema entries: queries over them
+  // validate exactly like queries over Hadoop tracepoints.
+  const TracepointRegistry* schema = cluster_->world()->schema();
+  ASSERT_NE(schema->Find("Baggage.Serialize"), nullptr);
+  ASSERT_NE(schema->Find("PTAgent.Flush"), nullptr);
+  EXPECT_EQ(schema->Find("Baggage.Serialize")->def().exports.size(), 4u);
+}
+
+TEST_F(SelfTraceTest, BaggageSerializeQueryMeasuresQueryBytes) {
+  uint64_t packing = Install(kPackingQuery);
+  uint64_t meta = Install(kBaggageMetaQuery);
+  RunWorkload(3 * kMicrosPerSecond);
+
+  // The data query itself worked.
+  EXPECT_FALSE(cluster_->world()->frontend()->Results(packing).empty());
+
+  // The meta query attributes serialized baggage bytes per owning query:
+  // a row for the packing query (nonzero bytes, nonzero tuples) and a
+  // queryId=0 row carrying the framing overhead, so SUM over all rows equals
+  // the wire size (the live Fig-10 readout).
+  auto rows = cluster_->world()->frontend()->Results(meta);
+  ASSERT_FALSE(rows.empty());
+  bool saw_packing = false;
+  bool saw_framing = false;
+  for (const Tuple& row : rows) {
+    int64_t qid = row.Get("b.queryId").int_value();
+    int64_t bytes = static_cast<int64_t>(row.Get("SUM(b.bytes)").AsDouble());
+    EXPECT_GT(bytes, 0) << "queryId " << qid;
+    if (qid == static_cast<int64_t>(packing)) {
+      saw_packing = true;
+      EXPECT_GT(row.Get("SUM(b.tuples)").AsDouble(), 0);
+    }
+    if (qid == 0) {
+      saw_framing = true;
+    }
+  }
+  EXPECT_TRUE(saw_packing);
+  EXPECT_TRUE(saw_framing);
+}
+
+TEST_F(SelfTraceTest, FlushQueryMeasuresAgentReports) {
+  // PTAgent.Flush fires when an agent publishes a non-empty report, so the
+  // meta query must be paired with a query that produces data; once reports
+  // flow, the flush query's own tuples keep it fed (it observes itself).
+  uint64_t packing = Install(kPackingQuery);
+  uint64_t flush_meta = Install(kFlushMetaQuery);
+  RunWorkload(3 * kMicrosPerSecond);
+
+  auto rows = cluster_->world()->frontend()->Results(flush_meta);
+  ASSERT_FALSE(rows.empty());
+  bool saw_packing = false;
+  for (const Tuple& row : rows) {
+    EXPECT_GT(row.Get("SUM(f.bytes)").AsDouble(), 0);
+    if (row.Get("f.queryId").int_value() == static_cast<int64_t>(packing)) {
+      saw_packing = true;
+      EXPECT_GT(row.Get("SUM(f.tuples)").AsDouble(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_packing);
+}
+
+TEST_F(SelfTraceTest, QueryStatusTracksLifecycleAndAgents) {
+  uint64_t q = Install(kPackingQuery);
+  RunWorkload(3 * kMicrosPerSecond);
+
+  Frontend* frontend = cluster_->world()->frontend();
+  auto statuses = frontend->QueryStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  const Frontend::QueryStatus& st = statuses[0];
+  EXPECT_EQ(st.query_id, q);
+  EXPECT_TRUE(st.active);
+  // Lifecycle ordering: install -> weave ack -> first tuple -> last report.
+  EXPECT_GE(st.installed_micros, 0);
+  EXPECT_GE(st.first_ack_micros, st.installed_micros);
+  EXPECT_GT(st.first_tuple_micros, 0);
+  EXPECT_GE(st.last_report_micros, st.first_tuple_micros);
+  EXPECT_EQ(st.uninstalled_micros, -1);
+  EXPECT_GT(st.reports, 0u);
+  EXPECT_GT(st.tuples, 0u);
+  // Every simulated process acked the weave; at least one reported data.
+  ASSERT_FALSE(st.agents.empty());
+  uint64_t reporting_agents = 0;
+  for (const auto& [key, view] : st.agents) {
+    EXPECT_GE(view.ack_micros, 0) << key;
+    if (view.last_report_micros >= 0) {
+      ++reporting_agents;
+    }
+  }
+  EXPECT_GT(reporting_agents, 0u);
+
+  EXPECT_TRUE(frontend->Uninstall(q).ok());
+  auto after = frontend->QueryStatuses();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_FALSE(after[0].active);
+  EXPECT_GE(after[0].uninstalled_micros, 0);
+}
+
+TEST_F(SelfTraceTest, QuietAgentsHeartbeatInsteadOfGoingDark) {
+  // HBase.ClientService is defined in the schema but never fires under an
+  // HDFS-only workload: the query stays woven yet produces nothing. Agents
+  // must distinguish "quiet" from "dead" by publishing a suppression
+  // heartbeat every kFlushesPerSuppressedHeartbeat empty flushes.
+  uint64_t q = Install(
+      "From r In HBase.ClientService\nGroupBy r.op\nSelect r.op, COUNT");
+  RunWorkload(13 * kMicrosPerSecond);
+
+  auto statuses = cluster_->world()->frontend()->QueryStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  const Frontend::QueryStatus& st = statuses[0];
+  EXPECT_EQ(st.query_id, q);
+  EXPECT_EQ(st.first_tuple_micros, -1);  // Genuinely no data.
+  EXPECT_EQ(st.reports, 0u);
+  ASSERT_FALSE(st.agents.empty());
+  bool saw_heartbeat = false;
+  for (const auto& [key, view] : st.agents) {
+    EXPECT_GE(view.ack_micros, 0) << key;
+    EXPECT_EQ(view.last_report_micros, -1) << key;
+    if (view.last_heartbeat_micros >= 0) {
+      saw_heartbeat = true;
+      EXPECT_GE(view.reports_suppressed, kFlushesPerSuppressedHeartbeat) << key;
+    }
+  }
+  EXPECT_TRUE(saw_heartbeat);
+}
+
+TEST_F(SelfTraceTest, StatusReportRendersQueriesBusAndMetrics) {
+  uint64_t packing = Install(kPackingQuery);
+  (void)packing;
+  RunWorkload(3 * kMicrosPerSecond);
+
+  Frontend* frontend = cluster_->world()->frontend();
+  std::string text = frontend->StatusReport();
+  // Per-query lifecycle, per-agent health, bus topics, telemetry registry.
+  EXPECT_NE(text.find("query 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("reporting"), std::string::npos) << text;
+  EXPECT_NE(text.find("bus topics"), std::string::npos) << text;
+  EXPECT_NE(text.find("telemetry"), std::string::npos) << text;
+  EXPECT_NE(text.find("agent.reports"), std::string::npos) << text;
+  EXPECT_NE(text.find("baggage.serialize.bytes"), std::string::npos) << text;
+
+  std::string json = frontend->StatusReportJson();
+  EXPECT_NE(json.find("\"queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"agents\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pivot
