@@ -1,0 +1,97 @@
+// Cost of the static-analysis gate (src/analysis/) on the install path.
+//
+// Verification runs once per install — never per tracepoint invocation — so
+// it cannot affect the Table 5 numbers. This bench quantifies the one-shot
+// cost anyway: compile-without-verify vs compile-with-verify vs the linter
+// alone, over the paper's Q2-style join (the deepest advice chain the
+// examples install) and the agent-side re-verification of a decoded weave.
+// Expect the whole gate in the microseconds; parsing dominates compilation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/query_linter.h"
+#include "src/query/compiler.h"
+#include "src/query/parser.h"
+
+namespace pivot {
+namespace {
+
+constexpr const char* kQ2 =
+    "From incr In DataNodeMetrics.incrBytesRead "
+    "Join cl In First(ClientProtocols) On cl -> incr "
+    "GroupBy cl.procName Select cl.procName, SUM(incr.delta)";
+
+TracepointRegistry* Schema() {
+  static TracepointRegistry* schema = [] {
+    auto* s = new TracepointRegistry();
+    TracepointDef client;
+    client.name = "ClientProtocols";
+    client.exports = {"procName"};
+    (void)s->Define(client);
+    TracepointDef incr;
+    incr.name = "DataNodeMetrics.incrBytesRead";
+    incr.exports = {"delta"};
+    (void)s->Define(incr);
+    return s;
+  }();
+  return schema;
+}
+
+void BM_CompileNoVerify(benchmark::State& state) {
+  Query q = *ParseQuery(kQ2);
+  QueryCompiler::Options options;
+  options.verify = false;
+  QueryCompiler compiler(Schema(), nullptr, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.Compile(q, 1));
+  }
+}
+BENCHMARK(BM_CompileNoVerify);
+
+void BM_CompileWithVerify(benchmark::State& state) {
+  Query q = *ParseQuery(kQ2);
+  QueryCompiler compiler(Schema(), nullptr);  // verify defaults on.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.Compile(q, 1));
+  }
+}
+BENCHMARK(BM_CompileWithVerify);
+
+void BM_LintAlone(benchmark::State& state) {
+  QueryCompiler::Options options;
+  options.verify = false;
+  QueryCompiler compiler(Schema(), nullptr, options);
+  CompiledQuery compiled = *compiler.Compile(*ParseQuery(kQ2), 1);
+  analysis::LintOptions lint_options;
+  lint_options.schema = Schema();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LintCompiledQuery(compiled, lint_options));
+  }
+}
+BENCHMARK(BM_LintAlone);
+
+void BM_AgentReverify(benchmark::State& state) {
+  // What every agent pays per weave command: schema-less, no dead-column
+  // heuristics (mirrors PTAgent::HandleCommand).
+  QueryCompiler::Options options;
+  options.verify = false;
+  QueryCompiler compiler(Schema(), nullptr, options);
+  CompiledQuery compiled = *compiler.Compile(*ParseQuery(kQ2), 1);
+  analysis::LintOptions lint_options;
+  lint_options.assume_projection_pushdown = false;
+  analysis::LintPlan plan;
+  plan.aggregated = compiled.aggregated;
+  plan.group_fields = compiled.group_fields;
+  plan.aggs = compiled.aggs;
+  plan.output_columns = compiled.output_columns;
+  analysis::QueryLinter linter(lint_options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linter.Lint(compiled.query_id, compiled.advice, plan));
+  }
+}
+BENCHMARK(BM_AgentReverify);
+
+}  // namespace
+}  // namespace pivot
+
+BENCHMARK_MAIN();

@@ -93,9 +93,12 @@ struct Shell {
            static_cast<long long>(now_s), static_cast<long long>(seconds));
   }
 
-  void Install(const std::string& text, bool explain) {
+  void Install(const std::string& text, bool explain, bool force) {
     Frontend* frontend = cluster.world()->frontend();
-    Result<uint64_t> q = explain ? frontend->InstallExplain(text) : frontend->Install(text);
+    Frontend::InstallOptions options;
+    options.force = force;
+    Result<uint64_t> q =
+        explain ? frontend->InstallExplain(text) : frontend->Install(text, options);
     if (!q.ok()) {
       printf("error: %s\n", q.status().ToString().c_str());
       return;
@@ -106,6 +109,27 @@ struct Shell {
     printf("%s", frontend->compiled(*q)->Explain().c_str());
     for (const auto& cost : frontend->compiled(*q)->EstimatePackCosts()) {
       printf("  baggage cost at %s: %s\n", cost.tracepoint.c_str(), cost.bound.c_str());
+    }
+  }
+
+  void Lint(const std::string& text) {
+    Result<analysis::QueryLintResult> lint = cluster.world()->frontend()->Lint(text);
+    if (!lint.ok()) {
+      printf("error: %s\n", lint.status().ToString().c_str());
+      return;
+    }
+    if (lint->report.empty()) {
+      printf("clean: no diagnostics\n");
+    } else {
+      printf("%s\n", lint->report.ToString().c_str());
+    }
+    printf("baggage cost: %s\n", analysis::BaggageCostName(lint->cost));
+    if (lint->report.has_errors()) {
+      printf("verdict: REJECT (install would fail)\n");
+    } else if (lint->report.has_warnings()) {
+      printf("verdict: warn (install needs --force)\n");
+    } else {
+      printf("verdict: ok\n");
     }
   }
 
@@ -140,6 +164,9 @@ constexpr char kHelp[] =
     "  install <query>     e.g. install From incr In DataNodeMetrics.incrBytesRead"
     " GroupBy incr.host Select incr.host, SUM(incr.delta)\n"
     "  explain <query>     install the tuple-counting shadow of a query\n"
+    "  lint <query>        static analysis only: diagnostics + baggage cost,\n"
+    "                      nothing is installed (docs/ANALYSIS.md)\n"
+    "                      (install --force overrides warning-level findings)\n"
     "  advance <seconds>   run the simulated workload forward\n"
     "  results <id>        cumulative results\n"
     "  series <id>         per-second results\n"
@@ -178,10 +205,20 @@ int main() {
       int64_t seconds = 1;
       in >> seconds;
       shell.Advance(seconds > 0 ? seconds : 1);
-    } else if (cmd == "install" || cmd == "explain") {
+    } else if (cmd == "install" || cmd == "explain" || cmd == "lint") {
       std::string rest;
       std::getline(in, rest);
-      shell.Install(rest, cmd == "explain");
+      bool force = false;
+      size_t start = rest.find_first_not_of(' ');
+      if (start != std::string::npos && rest.compare(start, 8, "--force ") == 0) {
+        force = true;
+        rest = rest.substr(start + 8);
+      }
+      if (cmd == "lint") {
+        shell.Lint(rest);
+      } else {
+        shell.Install(rest, cmd == "explain", force);
+      }
     } else if (cmd == "results" || cmd == "series" || cmd == "uninstall") {
       uint64_t id = 0;
       in >> id;

@@ -3,20 +3,54 @@
 # telemetry probe-effect gate (unwoven tracepoint fast path must stay within
 # MAX_OVERHEAD_PCT of the seed implementation; see docs/OBSERVABILITY.md).
 #
-# Usage: scripts/check.sh [build-dir]
+# Usage: scripts/check.sh [--sanitize=<mode>] [build-dir]
+#   --sanitize=address   build with ASan+UBSan in a separate build dir
+#   --sanitize=thread    build with TSan in a separate build dir
 #   MAX_OVERHEAD_PCT=10  overhead gate threshold (percent)
+#
+# Sanitizer runs skip the overhead gate: instrumented timings are meaningless.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build"}
+sanitize=""
+case "${1:-}" in
+  --sanitize=*)
+    sanitize=${1#--sanitize=}
+    shift
+    ;;
+esac
 max_overhead=${MAX_OVERHEAD_PCT:-10}
 
-cmake -B "$build_dir" -S "$repo_root"
+case "$sanitize" in
+  "")
+    build_dir=${1:-"$repo_root/build"}
+    cmake -B "$build_dir" -S "$repo_root"
+    ;;
+  address)
+    build_dir=${1:-"$repo_root/build-asan"}
+    cmake -B "$build_dir" -S "$repo_root" -DPIVOT_SANITIZE="address;undefined"
+    ;;
+  thread)
+    build_dir=${1:-"$repo_root/build-tsan"}
+    cmake -B "$build_dir" -S "$repo_root" -DPIVOT_SANITIZE="thread"
+    ;;
+  *)
+    echo "unknown --sanitize mode '$sanitize' (expected: address, thread)" >&2
+    exit 2
+    ;;
+esac
+
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 
 echo
 echo "=== tier-1 tests ==="
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+if [ -n "$sanitize" ]; then
+  echo
+  echo "All checks passed under -fsanitize=$sanitize."
+  exit 0
+fi
 
 echo
 echo "=== telemetry overhead gate (<= ${max_overhead}%) ==="

@@ -1,0 +1,24 @@
+#!/bin/sh
+# clang-tidy over the sources (.clang-tidy selects bugprone-*, performance-*,
+# concurrency-*). Degrades gracefully: the CI container only ships gcc, so a
+# missing clang-tidy is a skip, not a failure.
+#
+# Usage: scripts/lint.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found; skipping lint (install clang-tools to enable)."
+  exit 0
+fi
+
+# The compilation database is written by any CMake configure
+# (CMAKE_EXPORT_COMPILE_COMMANDS is on in the top-level CMakeLists.txt).
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+fi
+
+find "$repo_root/src" -name '*.cc' -print | sort |
+  xargs clang-tidy -p "$build_dir" --quiet

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run the test suite under sanitizers. ASan+UBSan always; TSan too unless a
+# mode is given. The fuzz tests (advice_fuzz_test, parser_fuzz_test) are the
+# main beneficiaries: they push mutated wire bytes through DecodeAdvice and
+# the static analyzer, so an out-of-bounds read in the decoder fails here even
+# when it happens not to crash a plain build.
+#
+# Usage: scripts/sanitize.sh [address|thread]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+mode=${1:-}
+
+if [ -n "$mode" ]; then
+  exec "$repo_root/scripts/check.sh" --sanitize="$mode"
+fi
+
+"$repo_root/scripts/check.sh" --sanitize=address
+"$repo_root/scripts/check.sh" --sanitize=thread

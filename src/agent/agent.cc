@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/analysis/query_linter.h"
 #include "src/telemetry/metrics.h"
 
 namespace pivot {
@@ -25,6 +26,11 @@ telemetry::Counter& DroppedTuplesCounter() {
 
 telemetry::Counter& EmittedTuplesCounter() {
   static telemetry::Counter& c = telemetry::Metrics().GetCounter("agent.tuples_emitted");
+  return c;
+}
+
+telemetry::Counter& WeavesRefusedCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("agent.weaves_refused");
   return c;
 }
 
@@ -60,6 +66,29 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
   switch (decoded->type) {
     case ControlMessageType::kWeave: {
       const WeaveCommand& cmd = decoded->weave;
+      // Re-verify before anything touches the registry (third verification
+      // boundary): the bytes came off the wire, and a frontend that linted
+      // them is an assumption, not a guarantee. Like an eBPF verifier, the
+      // agent refuses to weave programs it cannot prove well-formed. No
+      // schema here — tracepoints may be defined later (deferred weaving) —
+      // and no dead-column heuristics; only error-severity defects refuse.
+      {
+        analysis::LintOptions lint_options;
+        lint_options.assume_projection_pushdown = false;
+        analysis::LintPlan plan;
+        plan.aggregated = cmd.plan.aggregated;
+        plan.group_fields = cmd.plan.group_fields;
+        plan.aggs = cmd.plan.aggs;
+        plan.output_columns = cmd.plan.output_columns;
+        analysis::QueryLintResult lint =
+            analysis::QueryLinter(lint_options).Lint(cmd.query_id, cmd.advice, plan);
+        if (lint.report.has_errors()) {
+          WeavesRefusedCounter().Increment();
+          std::lock_guard<std::mutex> lock(mu_);
+          ++weaves_refused_;
+          return;
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (queries_.count(cmd.query_id) != 0) {
@@ -207,6 +236,11 @@ uint64_t PTAgent::reports_published() const {
 uint64_t PTAgent::dropped_tuples() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_total_;
+}
+
+uint64_t PTAgent::weaves_refused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return weaves_refused_;
 }
 
 std::vector<AgentQueryStats> PTAgent::QueryStats() const {

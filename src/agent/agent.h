@@ -77,6 +77,10 @@ class PTAgent : public EmitSink {
   uint64_t reports_published() const;
   // Tuples emitted for queries this agent does not (or no longer) track.
   uint64_t dropped_tuples() const;
+  // Weave commands refused because the decoded advice failed re-verification
+  // (the eBPF rule: never weave what you didn't verify). Tampered or
+  // corrupted wire bytes land here instead of in the tracepoint registry.
+  uint64_t weaves_refused() const;
 
   // Per-query accounting, sorted by query id.
   std::vector<AgentQueryStats> QueryStats() const;
@@ -108,6 +112,7 @@ class PTAgent : public EmitSink {
   uint64_t reported_total_ = 0;
   uint64_t reports_published_ = 0;
   uint64_t dropped_total_ = 0;
+  uint64_t weaves_refused_ = 0;
 };
 
 }  // namespace pivot

@@ -23,6 +23,23 @@ void Frontend::set_now_micros(std::function<int64_t()> now_micros) {
   now_micros_ = std::move(now_micros);
 }
 
+std::map<BagKey, uint64_t> Frontend::InstalledBagsLocked() const {
+  std::map<BagKey, uint64_t> bags;
+  for (const auto& [id, q] : queries_) {
+    if (!q.active) {
+      continue;
+    }
+    for (const auto& [tp, adv] : q.compiled.advice) {
+      for (const Advice::Op& op : adv->ops()) {
+        if (op.kind == Advice::OpKind::kPack) {
+          bags.emplace(op.bag, id);
+        }
+      }
+    }
+  }
+  return bags;
+}
+
 int64_t Frontend::NowMicros() const {
   // Callers hold mu_.
   if (now_micros_) {
@@ -46,11 +63,20 @@ Result<uint64_t> Frontend::Install(std::string_view text) {
 }
 
 Result<uint64_t> Frontend::Install(std::string_view text, const QueryCompiler::Options& options) {
+  InstallOptions install_options;
+  install_options.compiler = options;
+  // Compiling without projection pushdown deliberately produces fat packs;
+  // don't lint them as dead columns.
+  install_options.lint_projection = options.push_projection;
+  return Install(text, install_options);
+}
+
+Result<uint64_t> Frontend::Install(std::string_view text, const InstallOptions& options) {
   Result<Query> parsed = ParseQuery(text);
   if (!parsed.ok()) {
     return parsed.status();
   }
-  QueryCompiler compiler(schema_, &named_queries_, options);
+  QueryCompiler compiler(schema_, &named_queries_, options.compiler);
 
   uint64_t query_id;
   {
@@ -61,7 +87,41 @@ Result<uint64_t> Frontend::Install(std::string_view text, const QueryCompiler::O
   if (!compiled.ok()) {
     return compiled.status();
   }
-  return InstallCompiled(std::move(compiled).value());
+  return InstallCompiled(std::move(compiled).value(), options);
+}
+
+Result<analysis::QueryLintResult> Frontend::Lint(std::string_view text) const {
+  return Lint(text, QueryCompiler::Options{});
+}
+
+Result<analysis::QueryLintResult> Frontend::Lint(std::string_view text,
+                                                 const QueryCompiler::Options& options) const {
+  Result<Query> parsed = ParseQuery(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  // Compile with the self-verification gate off: the point of Lint is the
+  // full structured report, errors included.
+  QueryCompiler::Options compile_options = options;
+  compile_options.verify = false;
+  QueryCompiler compiler(schema_, &named_queries_, compile_options);
+
+  uint64_t prospective_id;
+  std::map<BagKey, uint64_t> installed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prospective_id = next_query_id_;  // Peek only: nothing is installed.
+    installed = InstalledBagsLocked();
+  }
+  Result<CompiledQuery> compiled = compiler.Compile(parsed.value(), prospective_id);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  analysis::LintOptions lint_options;
+  lint_options.schema = schema_;
+  lint_options.assume_projection_pushdown = options.push_projection;
+  lint_options.installed_bags = &installed;
+  return LintCompiledQuery(*compiled, lint_options);
 }
 
 Result<uint64_t> Frontend::InstallExplain(std::string_view text) {
@@ -81,18 +141,45 @@ Result<uint64_t> Frontend::InstallExplain(std::string_view text) {
   if (!compiled.ok()) {
     return compiled.status();
   }
-  return InstallCompiled(MakeCountingQuery(*compiled, shadow_id));
+  // The counting shadow keeps the original packs but consumes only "$stage",
+  // so skip the dead-packed-column heuristic.
+  InstallOptions options;
+  options.lint_projection = false;
+  return InstallCompiled(MakeCountingQuery(*compiled, shadow_id), options);
 }
 
 Result<uint64_t> Frontend::InstallCompiled(CompiledQuery compiled) {
+  return InstallCompiled(std::move(compiled), InstallOptions{});
+}
+
+Result<uint64_t> Frontend::InstallCompiled(CompiledQuery compiled, const InstallOptions& options) {
   // Take over the compiled query's id if it was minted by us; otherwise mint
   // a fresh one and require the caller to have used non-colliding bag keys.
   uint64_t query_id = compiled.query_id;
+  std::map<BagKey, uint64_t> installed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (query_id == 0 || queries_.count(query_id) != 0) {
       query_id = next_query_id_++;
       compiled.query_id = query_id;
+    }
+    installed = InstalledBagsLocked();
+  }
+
+  // Install-time gate (second verification boundary): errors always reject,
+  // warnings reject unless forced, infos never block.
+  {
+    analysis::LintOptions lint_options;
+    lint_options.schema = schema_;
+    lint_options.assume_projection_pushdown = options.lint_projection;
+    lint_options.installed_bags = &installed;
+    analysis::QueryLintResult lint = LintCompiledQuery(compiled, lint_options);
+    if (lint.report.has_errors() || (lint.report.has_warnings() && !options.force)) {
+      std::string message = "query rejected by static analysis:\n" + lint.report.ToString();
+      if (!lint.report.has_errors()) {
+        message += "\n(warnings only: install with force to override)";
+      }
+      return InvalidArgumentError(std::move(message));
     }
   }
 

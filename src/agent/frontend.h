@@ -53,10 +53,33 @@ class Frontend {
   // Named-query registry for subquery joins (register Q8, then install Q9).
   Status RegisterNamedQuery(const std::string& name, std::string_view text);
 
+  // Install-time policy knobs. The static analyzer (src/analysis) gates every
+  // install: error-severity findings always reject, warning-severity findings
+  // reject unless `force` is set (the --force escape hatch), infos never
+  // block.
+  struct InstallOptions {
+    QueryCompiler::Options compiler;
+    // Accept the query despite warning-severity diagnostics.
+    bool force = false;
+    // When false, the dead-packed-column heuristic (PT207) is skipped — used
+    // for Explain counting shadows, whose packs intentionally keep the
+    // original query's columns while consuming only "$stage".
+    bool lint_projection = true;
+  };
+
   // Parses, compiles and installs a query; returns its id. `options` toggles
   // the §4 optimizations (used by the ablation benches).
   Result<uint64_t> Install(std::string_view text);
   Result<uint64_t> Install(std::string_view text, const QueryCompiler::Options& options);
+  Result<uint64_t> Install(std::string_view text, const InstallOptions& options);
+
+  // Compiles `text` and runs the whole-query linter against the current
+  // install state (bag-collision checks include active queries) WITHOUT
+  // installing anything. Returns the full structured report — including
+  // error-severity findings, which Install would fold into a Status.
+  Result<analysis::QueryLintResult> Lint(std::string_view text) const;
+  Result<analysis::QueryLintResult> Lint(std::string_view text,
+                                         const QueryCompiler::Options& options) const;
 
   // Installs the §4 "explain" form of a query: the same tracepoints, joins
   // and packing, but every stage counts tuples instead of computing the
@@ -65,8 +88,10 @@ class Frontend {
   Result<uint64_t> InstallExplain(std::string_view text);
 
   // Installs an externally-built compiled query (advanced; the query id
-  // inside `compiled` is replaced with a fresh one and returned).
+  // inside `compiled` is replaced with a fresh one and returned). Subject to
+  // the same static-analysis gate as text installs.
   Result<uint64_t> InstallCompiled(CompiledQuery compiled);
+  Result<uint64_t> InstallCompiled(CompiledQuery compiled, const InstallOptions& options);
 
   // Removes the query's advice everywhere and stops collecting its results.
   // Accumulated results remain readable.
@@ -146,6 +171,10 @@ class Frontend {
 
   void HandleReport(const BusMessage& msg);
   int64_t NowMicros() const;
+
+  // Bags packed by active queries, bag -> owning query id (callers hold mu_).
+  // Context for the linter's cross-query collision check (PT203).
+  std::map<BagKey, uint64_t> InstalledBagsLocked() const;
 
   MessageBus* bus_;
   const TracepointRegistry* schema_;

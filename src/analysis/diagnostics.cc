@@ -1,0 +1,93 @@
+#include "src/analysis/diagnostics.h"
+
+namespace pivot {
+namespace analysis {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += " ";
+  out += code;
+  if (!tracepoint.empty() || op_index >= 0) {
+    out += " [";
+    out += tracepoint;
+    if (op_index >= 0) {
+      if (!tracepoint.empty()) {
+        out += " ";
+      }
+      out += "op#" + std::to_string(op_index);
+    }
+    out += "]";
+  }
+  out += ": " + message;
+  return out;
+}
+
+void Report::Add(std::string code, Severity severity, std::string tracepoint, int op_index,
+                 std::string message) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = severity;
+  d.tracepoint = std::move(tracepoint);
+  d.op_index = op_index;
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+size_t Report::error_count() const {
+  size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::kError) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t Report::warning_count() const {
+  size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::kWarning) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Report::Has(std::string_view code) const {
+  for (const auto& d : diags_) {
+    if (d.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Report::MergeFrom(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::string Report::ToString() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    if (!out.empty()) {
+      out += "\n";
+    }
+    out += d.ToString();
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace pivot

@@ -1,0 +1,66 @@
+// Structured diagnostics for the static analysis layer (AdviceVerifier /
+// QueryLinter, docs/ANALYSIS.md).
+//
+// Every finding carries a stable PTxxx code, a severity, and a location
+// (tracepoint + op index into the advice program). Codes are part of the
+// public surface: tests assert them, docs/ANALYSIS.md catalogues them, and
+// install-time enforcement keys off the severity (errors always reject,
+// warnings reject unless forced, infos never block).
+
+#ifndef PIVOT_SRC_ANALYSIS_DIAGNOSTICS_H_
+#define PIVOT_SRC_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pivot {
+namespace analysis {
+
+enum class Severity : uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+// "info" / "warning" / "error".
+const char* SeverityName(Severity s);
+
+struct Diagnostic {
+  std::string code;        // Stable identifier, e.g. "PT102".
+  Severity severity = Severity::kError;
+  std::string tracepoint;  // Advice location; empty for query-level findings.
+  int op_index = -1;       // Index into the advice op list; -1 = whole program.
+  std::string message;
+
+  // "error PT102 [DN.incr op#3]: ..." rendering.
+  std::string ToString() const;
+};
+
+// An ordered collection of diagnostics from one verify/lint pass.
+class Report {
+ public:
+  void Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void Add(std::string code, Severity severity, std::string tracepoint, int op_index,
+           std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool has_errors() const { return error_count() > 0; }
+  bool has_warnings() const { return warning_count() > 0; }
+
+  // True if any diagnostic carries `code` (test and tooling convenience).
+  bool Has(std::string_view code) const;
+
+  void MergeFrom(const Report& other);
+
+  // One diagnostic per line; empty string for a clean report.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace analysis
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,369 @@
+#include "src/analysis/query_linter.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pivot {
+namespace analysis {
+
+namespace {
+
+// Per-stage facts the cross-advice checks consume.
+struct StageInfo {
+  const std::string* tracepoint = nullptr;
+  const Advice* advice = nullptr;
+
+  std::vector<BagKey> packs;
+  std::vector<BagKey> unpacks;
+  bool sampled = false;    // Carries a Sample op with a rate in (0, 1).
+  bool reads_all = false;  // Packs or emits with an empty projection.
+  std::set<std::string> reads;  // Columns the stage consumes by name.
+};
+
+StageInfo CollectStage(const std::string& tracepoint, const Advice& advice) {
+  StageInfo info;
+  info.tracepoint = &tracepoint;
+  info.advice = &advice;
+  for (const Advice::Op& op : advice.ops()) {
+    switch (op.kind) {
+      case Advice::OpKind::kSample:
+        if (op.sample_rate > 0.0 && op.sample_rate < 1.0) {
+          info.sampled = true;
+        }
+        break;
+      case Advice::OpKind::kUnpack:
+        info.unpacks.push_back(op.bag);
+        break;
+      case Advice::OpKind::kPack: {
+        info.packs.push_back(op.bag);
+        if (op.bag_spec.semantics == PackSemantics::kAggregate) {
+          for (const auto& g : op.bag_spec.group_fields) {
+            info.reads.insert(g);
+          }
+          for (const AggSpec& spec : op.bag_spec.aggs) {
+            if (!spec.input.empty()) {
+              info.reads.insert(spec.input);
+              if (spec.from_state && spec.fn == AggFn::kAverage) {
+                info.reads.insert(spec.input + "#n");
+              }
+            }
+          }
+        } else if (op.fields.empty()) {
+          info.reads_all = true;
+        } else {
+          info.reads.insert(op.fields.begin(), op.fields.end());
+        }
+        break;
+      }
+      case Advice::OpKind::kEmit:
+        if (op.fields.empty()) {
+          info.reads_all = true;
+        } else {
+          info.reads.insert(op.fields.begin(), op.fields.end());
+        }
+        break;
+      case Advice::OpKind::kLet:
+      case Advice::OpKind::kFilter: {
+        if (op.expr != nullptr) {
+          std::vector<std::string> fields;
+          op.expr->CollectFields(&fields);
+          info.reads.insert(fields.begin(), fields.end());
+        }
+        break;
+      }
+      case Advice::OpKind::kObserve:
+        break;
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+const char* BaggageCostName(BaggageCost c) {
+  switch (c) {
+    case BaggageCost::kBounded:
+      return "bounded";
+    case BaggageCost::kUnboundedSampled:
+      return "unbounded-sampled";
+    case BaggageCost::kUnbounded:
+      return "unbounded";
+  }
+  return "?";
+}
+
+QueryLintResult QueryLinter::Lint(
+    uint64_t query_id, const std::vector<std::pair<std::string, Advice::Ptr>>& advice,
+    const LintPlan& plan) const {
+  QueryLintResult result;
+  Report& report = result.report;
+
+  if (advice.empty()) {
+    report.Add("PT101", Severity::kError, "", -1, "query weaves no advice at all");
+    return result;
+  }
+
+  // ---- Per-stage facts + happened-before DAG over bag dependencies ----
+
+  std::vector<StageInfo> stages;
+  stages.reserve(advice.size());
+  for (const auto& [tp, adv] : advice) {
+    if (adv == nullptr) {
+      report.Add("PT101", Severity::kError, tp, -1, "null advice program");
+      continue;
+    }
+    stages.push_back(CollectStage(tp, *adv));
+  }
+
+  std::map<BagKey, std::vector<size_t>> packers;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    for (BagKey b : stages[i].packs) {
+      packers[b].push_back(i);
+    }
+  }
+
+  // Kahn's algorithm: stage j depends on stage i when j unpacks a bag i
+  // packs. Stages left over when the queue drains sit on a pack/unpack cycle,
+  // which has no valid happened-before order (PT202).
+  std::vector<std::set<size_t>> deps(stages.size());
+  for (size_t j = 0; j < stages.size(); ++j) {
+    for (BagKey b : stages[j].unpacks) {
+      auto it = packers.find(b);
+      if (it == packers.end()) {
+        continue;  // Never packed: the verifier reports PT106 below.
+      }
+      for (size_t i : it->second) {
+        if (i != j) {
+          deps[j].insert(i);
+        } else {
+          deps[j].insert(j);  // Self-cycle: a stage unpacking its own pack.
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> order;
+  std::vector<bool> placed(stages.size(), false);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (placed[i]) {
+        continue;
+      }
+      bool ready = true;
+      for (size_t d : deps[i]) {
+        if (!placed[d]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(i);
+        placed[i] = true;
+        progressed = true;
+      }
+    }
+  }
+  std::vector<size_t> cyclic;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (!placed[i]) {
+      cyclic.push_back(i);
+    }
+  }
+  if (!cyclic.empty()) {
+    std::string names;
+    for (size_t i : cyclic) {
+      if (!names.empty()) {
+        names += ", ";
+      }
+      names += *stages[i].tracepoint;
+    }
+    report.Add("PT202", Severity::kError, *stages[cyclic.front()].tracepoint, -1,
+               "pack/unpack cycle across stages {" + names +
+                   "}: no happened-before order can satisfy these bag dependencies");
+  }
+
+  // ---- Verify each stage in causal order, propagating bag knowledge ----
+
+  bool all_emitted = false;
+  std::set<std::string> emitted;
+  auto verify_stage = [&](size_t i, bool on_cycle) {
+    const StageInfo& stage = stages[i];
+    VerifyContext ctx;
+    ctx.query_id = query_id;
+    if (options_.schema != nullptr) {
+      Tracepoint* tp = options_.schema->Find(*stage.tracepoint);
+      if (tp == nullptr) {
+        report.Add("PT105", Severity::kError, *stage.tracepoint, -1,
+                   "unknown tracepoint '" + *stage.tracepoint + "': not in the schema registry");
+      } else {
+        ctx.tracepoint = &tp->def();
+      }
+    }
+    // Cycle stages have no well-defined upstream bag set; verify them with
+    // open provenance so PT202 is not compounded with spurious PT106s.
+    ctx.bags = on_cycle ? nullptr : &result.bags;
+    VerifyResult vr = AdviceVerifier(ctx).Verify(*stage.advice);
+    report.MergeFrom(vr.report);
+
+    for (auto& [bag, cols] : vr.packed) {
+      auto pos = result.bags.find(bag);
+      if (pos == result.bags.end()) {
+        result.bags.emplace(bag, std::move(cols));
+        continue;
+      }
+      if (!(pos->second.spec == cols.spec)) {
+        report.Add("PT205", Severity::kError, *stage.tracepoint, -1,
+                   "bag " + std::to_string(bag) +
+                       " is packed under conflicting specs by different stages");
+      }
+      pos->second.open_columns |= cols.open_columns;
+      for (const auto& [name, type] : cols.columns) {
+        auto [cpos, inserted] = pos->second.columns.emplace(name, type);
+        if (!inserted) {
+          cpos->second = JoinStaticTypes(cpos->second, type);
+        }
+      }
+    }
+    all_emitted |= vr.emits_all;
+    emitted.insert(vr.emitted_columns.begin(), vr.emitted_columns.end());
+  };
+  for (size_t i : order) {
+    verify_stage(i, /*on_cycle=*/false);
+  }
+  for (size_t i : cyclic) {
+    verify_stage(i, /*on_cycle=*/true);
+  }
+
+  // ---- Bag-key hygiene: range (PT204) and cross-query collisions (PT203) ----
+
+  for (const auto& [bag, cols] : result.bags) {
+    (void)cols;
+    if (query_id != 0 && BagKeyQuery(bag) != query_id) {
+      report.Add("PT204", Severity::kWarning, "", -1,
+                 "bag " + std::to_string(bag) + " lies in query " +
+                     std::to_string(BagKeyQuery(bag)) + "'s key range, not query " +
+                     std::to_string(query_id) + "'s (keys are query_id*" +
+                     std::to_string(kBagKeysPerQuery) + "+stage)");
+    }
+    if (options_.installed_bags != nullptr) {
+      auto it = options_.installed_bags->find(bag);
+      if (it != options_.installed_bags->end() && it->second != query_id) {
+        report.Add("PT203", Severity::kError, "", -1,
+                   "bag " + std::to_string(bag) + " collides with installed query " +
+                       std::to_string(it->second) +
+                       ": their packed tuples would merge into one bag");
+      }
+    }
+  }
+
+  // ---- Result plan consumes only emitted columns (PT206) ----
+
+  if (!all_emitted) {
+    auto require_emitted = [&](const std::string& col, const std::string& role) {
+      if (emitted.count(col) == 0) {
+        report.Add("PT206", Severity::kError, "", -1,
+                   role + " '" + col + "' is never emitted by any advice (it would always read "
+                   "as null at the agent)");
+      }
+    };
+    if (plan.aggregated) {
+      for (const auto& g : plan.group_fields) {
+        require_emitted(g, "result group field");
+      }
+      for (const AggSpec& spec : plan.aggs) {
+        if (spec.input.empty()) {
+          continue;  // COUNT over raw tuples needs no input column.
+        }
+        require_emitted(spec.input, "aggregation input");
+        if (spec.from_state && spec.fn == AggFn::kAverage) {
+          require_emitted(spec.input + "#n", "aggregation state column");
+        }
+      }
+    } else {
+      for (const auto& col : plan.output_columns) {
+        require_emitted(col, "output column");
+      }
+    }
+  }
+
+  // ---- Dead packed columns / dead bags (PT207) ----
+
+  if (options_.assume_projection_pushdown) {
+    for (const auto& [bag, cols] : result.bags) {
+      std::vector<const StageInfo*> consumers;
+      for (const StageInfo& s : stages) {
+        if (std::find(s.unpacks.begin(), s.unpacks.end(), bag) != s.unpacks.end()) {
+          consumers.push_back(&s);
+        }
+      }
+      if (consumers.empty()) {
+        report.Add("PT207", Severity::kWarning, "", -1,
+                   "bag " + std::to_string(bag) +
+                       " is packed but no stage unpacks it: pure baggage overhead");
+        continue;
+      }
+      if (cols.spec.semantics == PackSemantics::kAggregate) {
+        continue;  // Aggregate state columns are the projection already.
+      }
+      for (const auto& [name, type] : cols.columns) {
+        (void)type;
+        bool used = false;
+        for (const StageInfo* c : consumers) {
+          if (c->reads_all || c->reads.count(name) != 0) {
+            used = true;
+            break;
+          }
+        }
+        if (!used) {
+          report.Add("PT207", Severity::kWarning, "", -1,
+                     "bag " + std::to_string(bag) + " packs column '" + name +
+                         "' but no unpacking stage reads it: project it away");
+        }
+      }
+    }
+  }
+
+  // ---- Baggage cost classification (PT208 / PT209) ----
+
+  for (const StageInfo& stage : stages) {
+    size_t unbounded_packs = 0;
+    for (size_t k = 0; k < stage.advice->ops().size(); ++k) {
+      const Advice::Op& op = stage.advice->ops()[k];
+      if (op.kind == Advice::OpKind::kPack && op.bag_spec.semantics == PackSemantics::kAll) {
+        ++unbounded_packs;
+        report.Add("PT208", Severity::kInfo, *stage.tracepoint, static_cast<int>(k),
+                   "unbounded pack (ALL semantics) into bag " + std::to_string(op.bag) +
+                       ": every invocation adds a tuple — the §4 full-table-scan risk, capped "
+                       "only by the kMaxBagTuples valve" +
+                       (stage.sampled ? " (mitigated here by advice-level sampling)" : ""));
+        BaggageCost c =
+            stage.sampled ? BaggageCost::kUnboundedSampled : BaggageCost::kUnbounded;
+        if (static_cast<uint8_t>(c) > static_cast<uint8_t>(result.cost)) {
+          result.cost = c;
+        }
+      }
+    }
+    (void)unbounded_packs;
+
+    size_t unbounded_unpacks = 0;
+    for (BagKey b : stage.unpacks) {
+      auto it = result.bags.find(b);
+      if (it != result.bags.end() && it->second.spec.semantics == PackSemantics::kAll) {
+        ++unbounded_unpacks;
+      }
+    }
+    if (unbounded_unpacks >= 2) {
+      report.Add("PT209", Severity::kInfo, *stage.tracepoint, -1,
+                 "joins " + std::to_string(unbounded_unpacks) +
+                     " unbounded bags: the unpack join is a cartesian product, so the working "
+                     "set can blow up multiplicatively (truncated at kMaxWorkingSet)");
+    }
+  }
+
+  return result;
+}
+
+}  // namespace analysis
+}  // namespace pivot

@@ -1,0 +1,105 @@
+// QueryLinter: whole-query static analysis across advice programs.
+//
+// The AdviceVerifier checks one straight-line program; the linter checks the
+// properties that only exist *between* programs and against the deployment:
+// every Unpack'd bag is Pack'ed by a causally-earlier stage (PT106 via
+// propagated bag knowledge, PT202 for pack/unpack cycles), bag keys stay
+// inside the owning query's range (PT204) and don't collide with queries
+// already installed (PT203), one bag isn't packed under conflicting specs
+// (PT205), the result plan only consumes columns some advice emits (PT206),
+// packed columns are actually consumed downstream (PT207), and the query's
+// baggage cost is classified bounded / unbounded-but-sampled / unbounded
+// (PT208/PT209, the §4 "full table scan" risk).
+//
+// The linter deliberately takes primitives (query id + (tracepoint, advice)
+// pairs + a LintPlan) instead of CompiledQuery so the analysis library
+// depends only on core; the query layer adapts CompiledQuery to this API
+// (compiler.h LintCompiledQuery), and agents adapt wire WeaveCommands.
+
+#ifndef PIVOT_SRC_ANALYSIS_QUERY_LINTER_H_
+#define PIVOT_SRC_ANALYSIS_QUERY_LINTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/advice_verifier.h"
+#include "src/analysis/diagnostics.h"
+#include "src/core/advice.h"
+#include "src/core/aggregation.h"
+#include "src/core/baggage.h"
+#include "src/core/tracepoint.h"
+
+namespace pivot {
+namespace analysis {
+
+// How much tuple traffic the query can put into the baggage (§4). Bounded
+// means every Pack op retains a statically-bounded number of tuples
+// (FIRST/RECENT/aggregate); unbounded means some kAll pack can retain one
+// tuple per tracepoint invocation — the full-table-scan case — and
+// kUnboundedSampled means every such pack sits behind advice-level sampling.
+enum class BaggageCost : uint8_t {
+  kBounded = 0,
+  kUnboundedSampled = 1,
+  kUnbounded = 2,
+};
+
+// "bounded" / "unbounded-sampled" / "unbounded".
+const char* BaggageCostName(BaggageCost c);
+
+// The result-side plan the linter checks emitted columns against — a
+// core-layer mirror of the agent protocol's ResultPlan (the adapter copies
+// fields across so analysis does not depend on the agent library).
+struct LintPlan {
+  bool aggregated = false;
+  std::vector<std::string> group_fields;
+  std::vector<AggSpec> aggs;                // from_state marks pushed-down aggs.
+  std::vector<std::string> output_columns;  // Streaming queries.
+};
+
+struct LintOptions {
+  // Tracepoint schema for Observe-source checking (PT105). Null skips: the
+  // agent-side re-verify uses its local registry, the frontend the global one.
+  const TracepointRegistry* schema = nullptr;
+
+  // When false, dead-packed-column findings (PT207) are suppressed: the
+  // compiler was asked not to push projections, so fat packs are intentional
+  // (equivalence tests, Explain counting shadows).
+  bool assume_projection_pushdown = true;
+
+  // Bags of queries already installed, keyed by bag -> owning query id.
+  // Enables the cross-query collision check (PT203).
+  const std::map<BagKey, uint64_t>* installed_bags = nullptr;
+};
+
+struct QueryLintResult {
+  Report report;
+  BaggageCost cost = BaggageCost::kBounded;
+
+  // Everything the query packs, with statically-known column sets (after
+  // cross-stage propagation). Feeds Frontend install bookkeeping for PT203.
+  std::map<BagKey, BagColumns> bags;
+};
+
+class QueryLinter {
+ public:
+  QueryLinter() = default;
+  explicit QueryLinter(LintOptions options) : options_(std::move(options)) {}
+
+  // Lints one query: `advice` is the (tracepoint name, advice) list that
+  // would be woven, `plan` the result-side plan. Never fails hard — broken
+  // queries produce error diagnostics.
+  QueryLintResult Lint(uint64_t query_id,
+                       const std::vector<std::pair<std::string, Advice::Ptr>>& advice,
+                       const LintPlan& plan) const;
+
+ private:
+  LintOptions options_;
+};
+
+}  // namespace analysis
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_ANALYSIS_QUERY_LINTER_H_

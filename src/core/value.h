@@ -45,8 +45,9 @@ class Value {
   const std::string& string_value() const { return std::get<std::string>(v_); }
 
   // Numeric coercion: ints widen to double, null coerces to 0. Strings coerce
-  // to 0 (queries comparing strings numerically are a user error the query
-  // analyzer rejects; this keeps the evaluator total).
+  // to 0 (queries comparing strings numerically are a user error the static
+  // analyzer flags as PT103, see src/analysis/advice_verifier.h; this keeps
+  // the evaluator total).
   double AsDouble() const;
   // Truthiness: null/0/0.0/"" are false, everything else true.
   bool AsBool() const;
@@ -71,8 +72,10 @@ class Value {
 
 // Arithmetic used by query Select/Where expressions. Numeric promotion:
 // int op int -> int, otherwise double. `Add` concatenates strings. Division by
-// zero and type mismatches yield null (the evaluator is total; the query
-// analyzer rejects statically-detectable type errors).
+// zero and type mismatches yield null (the evaluator is total; the static
+// analyzer in src/analysis/ rejects statically-detectable type errors before
+// install — PT103 for string/numeric confusion, PT110 for literal-zero
+// division — so nulls here mean data-dependent surprises, not typos).
 Value ValueAdd(const Value& a, const Value& b);
 Value ValueSub(const Value& a, const Value& b);
 Value ValueMul(const Value& a, const Value& b);

@@ -705,7 +705,31 @@ Result<CompiledQuery> QueryCompiler::Compile(const Query& q, uint64_t query_id) 
 
   // Rename streaming output columns: a plain-field select keeps its qualified
   // name; nothing else to do (Lets already used display names).
+
+  // ---- 6. Static verification (src/analysis): reject our own output if the
+  // verifier finds error-severity defects. Warnings and infos pass through;
+  // the frontend decides the install-time policy for those. ----
+  if (options_.verify) {
+    analysis::LintOptions lint_options;
+    lint_options.schema = registry_;
+    lint_options.assume_projection_pushdown = options_.push_projection;
+    analysis::QueryLintResult lint = LintCompiledQuery(out, lint_options);
+    if (lint.report.has_errors()) {
+      return InvalidArgumentError("query fails static verification:\n" +
+                                  lint.report.ToString());
+    }
+  }
   return out;
+}
+
+analysis::QueryLintResult LintCompiledQuery(const CompiledQuery& compiled,
+                                            const analysis::LintOptions& options) {
+  analysis::LintPlan plan;
+  plan.aggregated = compiled.aggregated;
+  plan.group_fields = compiled.group_fields;
+  plan.aggs = compiled.aggs;
+  plan.output_columns = compiled.output_columns;
+  return analysis::QueryLinter(options).Lint(compiled.query_id, compiled.advice, plan);
 }
 
 std::vector<CompiledQuery::PackCost> CompiledQuery::EstimatePackCosts() const {

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/query_linter.h"
 #include "src/common/status.h"
 #include "src/core/advice.h"
 #include "src/core/aggregation.h"
@@ -101,12 +102,26 @@ CompiledQuery MakeCountingQuery(const CompiledQuery& original, uint64_t shadow_i
 // tracepoints in the schema registry.
 bool TracepointPatternMatch(std::string_view pattern, std::string_view name);
 
+// Runs the whole-query linter (src/analysis) over a compiled query: adapts
+// CompiledQuery's advice list and result plan to the analysis API. Callers
+// that know more than the compiler extend `options` (the frontend passes the
+// bags of already-installed queries for the collision check, and disables the
+// dead-column heuristic for Explain counting shadows).
+analysis::QueryLintResult LintCompiledQuery(const CompiledQuery& compiled,
+                                            const analysis::LintOptions& options);
+
 class QueryCompiler {
  public:
   struct Options {
     bool push_projection = true;
     bool push_selection = true;
     bool push_aggregation = true;
+    // Run the static analyzer (src/analysis) over the compiled advice and
+    // fail compilation on error-severity findings — the compiler rejecting
+    // its own output is the first of the three verification boundaries
+    // (compile, install, agent weave). Off only for tooling that wants the
+    // raw diagnostics (Frontend::Lint) or deliberately-broken test inputs.
+    bool verify = true;
   };
 
   // `registry` validates tracepoints/exports; `named_queries` resolves

@@ -1,0 +1,235 @@
+// Property tests for the wire → verifier path: DecodeAdvice must never crash
+// on mutated or garbage bytes, and whatever it does accept must survive
+// AdviceVerifier/QueryLinter without crashing — the exact invariant the agent
+// relies on when it re-verifies advice off the bus before weaving. Run under
+// the sanitizer build (scripts/check.sh --sanitize=address) this doubles as
+// the memory-safety proof for the decoder and the analyzer.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/advice_verifier.h"
+#include "src/analysis/query_linter.h"
+#include "src/common/rand.h"
+#include "src/core/advice.h"
+#include "src/core/advice_io.h"
+
+namespace pivot {
+namespace {
+
+using analysis::AdviceVerifier;
+using analysis::LintPlan;
+using analysis::QueryLinter;
+
+// Builds a random (structurally valid) advice program. Field names are drawn
+// from a small pool so some programs read columns they produced and others
+// read columns they did not — both sides of the PT102 check get exercised.
+class AdviceGenerator {
+ public:
+  explicit AdviceGenerator(uint64_t seed) : rng_(seed) {}
+
+  Advice::Ptr Random() {
+    AdviceBuilder b;
+    if (rng_.NextBool(0.3)) {
+      b.Sample(rng_.NextDouble() * 1.5);  // Sometimes out of range: PT104 food.
+    }
+    int ops = static_cast<int>(1 + rng_.NextBelow(6));
+    for (int i = 0; i < ops; ++i) {
+      switch (rng_.NextBelow(6)) {
+        case 0: {
+          std::vector<std::pair<std::string, std::string>> vars;
+          int n = static_cast<int>(1 + rng_.NextBelow(3));
+          for (int v = 0; v < n; ++v) {
+            vars.emplace_back(Name(), "t." + Name());
+          }
+          b.Observe(std::move(vars));
+          break;
+        }
+        case 1:
+          b.Unpack(rng_.NextBelow(4 * kBagKeysPerQuery));
+          break;
+        case 2:
+          b.Let(Name(), RandomExpr(2));
+          break;
+        case 3:
+          b.Filter(RandomExpr(2));
+          break;
+        case 4:
+          b.Pack(rng_.NextBelow(4 * kBagKeysPerQuery), RandomSpec(), RandomFields());
+          break;
+        default:
+          b.Emit(rng_.NextBelow(4), RandomFields());
+          break;
+      }
+    }
+    return b.Build();
+  }
+
+  std::vector<uint8_t> Mutate(std::vector<uint8_t> bytes) {
+    int edits = static_cast<int>(1 + rng_.NextBelow(8));
+    for (int i = 0; i < edits && !bytes.empty(); ++i) {
+      size_t at = rng_.NextBelow(bytes.size());
+      switch (rng_.NextBelow(3)) {
+        case 0:
+          bytes[at] = static_cast<uint8_t>(rng_.NextBelow(256));
+          break;
+        case 1:
+          bytes.erase(bytes.begin() + static_cast<ptrdiff_t>(at));
+          break;
+        default:
+          bytes.insert(bytes.begin() + static_cast<ptrdiff_t>(at),
+                       static_cast<uint8_t>(rng_.NextBelow(256)));
+          break;
+      }
+    }
+    return bytes;
+  }
+
+  std::vector<uint8_t> Garbage() {
+    std::vector<uint8_t> bytes(rng_.NextBelow(200));
+    for (auto& byte : bytes) {
+      byte = static_cast<uint8_t>(rng_.NextBelow(256));
+    }
+    return bytes;
+  }
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  std::string Name() {
+    static const char* kNames[] = {"x", "y", "host", "delta", "q"};
+    return kNames[rng_.NextBelow(5)];
+  }
+
+  std::vector<std::string> RandomFields() {
+    std::vector<std::string> fields;
+    int n = static_cast<int>(rng_.NextBelow(3));
+    for (int i = 0; i < n; ++i) {
+      fields.push_back("t." + Name());
+    }
+    return fields;
+  }
+
+  BagSpec RandomSpec() {
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        return BagSpec::All();
+      case 1:
+        return BagSpec::First(static_cast<uint32_t>(1 + rng_.NextBelow(4)));
+      case 2:
+        return BagSpec::Recent(static_cast<uint32_t>(1 + rng_.NextBelow(4)));
+      default:
+        return BagSpec::Aggregated(
+            {"t." + Name()}, {AggSpec{AggFn::kSum, "t." + Name(), "SUM", false}});
+    }
+  }
+
+  Expr::Ptr RandomExpr(int depth) {
+    if (depth == 0 || rng_.NextBool(0.4)) {
+      switch (rng_.NextBelow(3)) {
+        case 0:
+          return Expr::Field("t." + Name());
+        case 1:
+          return Expr::Literal(Value(rng_.NextInt(-10, 10)));
+        default:
+          return Expr::Literal(Value("s" + std::to_string(rng_.NextBelow(3))));
+      }
+    }
+    static const ExprOp kOps[] = {ExprOp::kAdd, ExprOp::kSub, ExprOp::kMul,
+                                  ExprOp::kDiv, ExprOp::kMod, ExprOp::kEq,
+                                  ExprOp::kLt,  ExprOp::kAnd, ExprOp::kOr};
+    return Expr::Binary(kOps[rng_.NextBelow(9)], RandomExpr(depth - 1),
+                        RandomExpr(depth - 1));
+  }
+
+  Rng rng_;
+};
+
+// Decode + analyze without crashing, whatever the bytes were.
+void DecodeAndAnalyze(const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  Advice::Ptr advice;
+  if (!DecodeAdvice(bytes.data(), bytes.size(), &pos, &advice)) {
+    return;  // Rejecting is always fine; crashing is not.
+  }
+  ASSERT_LE(pos, bytes.size());
+  ASSERT_NE(advice, nullptr);
+  (void)AdviceVerifier().Verify(*advice);
+  // And through the whole-query path the agent uses before weaving.
+  std::vector<std::pair<std::string, Advice::Ptr>> stages;
+  stages.emplace_back("fuzz.tp", advice);
+  (void)QueryLinter().Lint(1, stages, LintPlan{});
+}
+
+class AdviceRoundTripFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdviceRoundTripFuzz, EncodedAdviceDecodesAndVerifiesCleanly) {
+  AdviceGenerator gen(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    Advice::Ptr advice = gen.Random();
+    std::vector<uint8_t> bytes;
+    EncodeAdvice(&bytes, *advice);
+    size_t pos = 0;
+    Advice::Ptr decoded;
+    ASSERT_TRUE(DecodeAdvice(bytes.data(), bytes.size(), &pos, &decoded));
+    ASSERT_EQ(pos, bytes.size());
+    ASSERT_EQ(decoded->ops().size(), advice->ops().size());
+    // The analyzer must accept the program as *analyzable* (diagnostics are
+    // expected — these are random programs — but no crash, and the report is
+    // deterministic across the round trip).
+    std::string before = AdviceVerifier().Verify(*advice).report.ToString();
+    std::string after = AdviceVerifier().Verify(*decoded).report.ToString();
+    EXPECT_EQ(before, after);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdviceRoundTripFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+class AdviceMutationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdviceMutationFuzz, MutatedBytesNeverCrashDecoderOrVerifier) {
+  AdviceGenerator gen(GetParam() * 7919);
+  for (int trial = 0; trial < 200; ++trial) {
+    Advice::Ptr advice = gen.Random();
+    std::vector<uint8_t> bytes;
+    EncodeAdvice(&bytes, *advice);
+    DecodeAndAnalyze(gen.Mutate(bytes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdviceMutationFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{6}));
+
+class AdviceGarbageFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdviceGarbageFuzz, GarbageBytesAreRejectedOrAnalyzedWithoutCrash) {
+  AdviceGenerator gen(GetParam() * 104729);
+  for (int trial = 0; trial < 500; ++trial) {
+    DecodeAndAnalyze(gen.Garbage());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdviceGarbageFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{6}));
+
+TEST(AdviceVerifierGate, VerifierRejectsDegenerateDecodes) {
+  // The one guarantee the fuzzers cannot assert generically: a decode that
+  // yields an *empty* program (the most common "successful" garbage decode)
+  // must be rejected by analysis, never woven.
+  Advice::Ptr empty = AdviceBuilder().Build();
+  std::vector<std::pair<std::string, Advice::Ptr>> stages;
+  stages.emplace_back("tp", empty);
+  auto lint = QueryLinter().Lint(1, stages, LintPlan{});
+  EXPECT_TRUE(lint.report.Has("PT101"));
+  EXPECT_TRUE(lint.report.has_errors());
+
+  // Null advice (a stage that failed to decode at all) is likewise fatal.
+  std::vector<std::pair<std::string, Advice::Ptr>> null_stage;
+  null_stage.emplace_back("tp", nullptr);
+  auto null_lint = QueryLinter().Lint(1, null_stage, LintPlan{});
+  EXPECT_TRUE(null_lint.report.Has("PT101"));
+  EXPECT_TRUE(null_lint.report.has_errors());
+}
+
+}  // namespace
+}  // namespace pivot

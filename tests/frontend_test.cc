@@ -5,6 +5,7 @@
 
 #include "src/agent/agent.h"
 #include "src/agent/frontend.h"
+#include "src/agent/protocol.h"
 #include "src/bus/message_bus.h"
 #include "tests/test_util.h"
 
@@ -252,6 +253,90 @@ TEST_F(FrontendTest, TrimSeriesDropsOldIntervalsOnly) {
   // query_id 0 trims everything.
   frontend_.TrimSeriesBefore(0, clock_.now + 1);
   EXPECT_TRUE(frontend_.Series(*q).empty());
+}
+
+TEST_F(FrontendTest, InstallGateRejectsWarningsUnlessForced) {
+  // Division by a literal zero is PT110 — warning severity: the install gate
+  // refuses it by default but --force overrides (errors never override).
+  const std::string text =
+      "From incr In DataNodeMetrics.incrBytesRead Select incr.delta / 0";
+  Result<uint64_t> rejected = frontend_.Install(text);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().ToString().find("PT110"), std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().ToString().find("force"), std::string::npos);
+
+  Frontend::InstallOptions force;
+  force.force = true;
+  Result<uint64_t> accepted = frontend_.Install(text, force);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  // The forced query is live end to end.
+  RunRequest({{&datanode_b_, 10}});
+  FlushAll();
+  EXPECT_FALSE(frontend_.Results(*accepted).empty());
+}
+
+TEST_F(FrontendTest, LintReportsWithoutInstalling) {
+  Result<analysis::QueryLintResult> lint = frontend_.Lint(
+      "From incr In DataNodeMetrics.incrBytesRead Select incr.delta / 0");
+  ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+  EXPECT_TRUE(lint->report.Has("PT110")) << lint->report.ToString();
+  EXPECT_FALSE(lint->report.has_errors());
+  // Nothing woven, nothing installed.
+  EXPECT_FALSE(tp_incr_b_->enabled());
+  EXPECT_TRUE(datanode_b_.registry.WovenQueries().empty());
+}
+
+TEST_F(FrontendTest, AgentsRefuseTamperedWireAdvice) {
+  // A weave command straight onto the bus, bypassing the frontend's install
+  // gate — the advice emits to a foreign query (PT201), the sort of tampering
+  // the agent-side re-verification exists to stop.
+  WeaveCommand cmd;
+  cmd.query_id = 41;
+  cmd.advice.emplace_back("DataNodeMetrics.incrBytesRead",
+                          AdviceBuilder()
+                              .Observe({{"delta", "incr.delta"}})
+                              .Emit(99, {"incr.delta"})
+                              .Build());
+  bus_.Publish(BusMessage{kCommandTopic, EncodeWeave(cmd)});
+
+  for (MiniProcess* proc : {&client_, &datanode_b_, &datanode_c_}) {
+    EXPECT_TRUE(proc->registry.WovenQueries().empty());
+    EXPECT_EQ(proc->agent->weaves_refused(), 1u);
+  }
+  // Nothing fires, nothing is emitted.
+  RunRequest({{&datanode_b_, 10}});
+  FlushAll();
+  EXPECT_EQ(datanode_b_.agent->emitted_tuples(), 0u);
+  EXPECT_EQ(frontend_.reports_received(), 0u);
+
+  // A well-formed weave on the same bus still goes through: refusal is
+  // per-program, not a poisoned state.
+  WeaveCommand good;
+  good.query_id = 42;
+  good.advice.emplace_back("DataNodeMetrics.incrBytesRead",
+                           AdviceBuilder()
+                               .Observe({{"delta", "incr.delta"}})
+                               .Emit(42, {"incr.delta"})
+                               .Build());
+  bus_.Publish(BusMessage{kCommandTopic, EncodeWeave(good)});
+  for (MiniProcess* proc : {&client_, &datanode_b_, &datanode_c_}) {
+    EXPECT_EQ(proc->registry.WovenQueries(), std::vector<uint64_t>{42});
+    EXPECT_EQ(proc->agent->weaves_refused(), 1u);
+  }
+}
+
+TEST_F(FrontendTest, AgentsRefuseEmptyAdviceWeave) {
+  // Garbage that *decodes* (an advice list with an empty program) must still
+  // be refused: decode success is not verification.
+  WeaveCommand cmd;
+  cmd.query_id = 43;
+  cmd.advice.emplace_back("DataNodeMetrics.incrBytesRead", AdviceBuilder().Build());
+  bus_.Publish(BusMessage{kCommandTopic, EncodeWeave(cmd)});
+  for (MiniProcess* proc : {&client_, &datanode_b_, &datanode_c_}) {
+    EXPECT_TRUE(proc->registry.WovenQueries().empty());
+    EXPECT_EQ(proc->agent->weaves_refused(), 1u);
+  }
 }
 
 TEST_F(FrontendTest, EmptyIntervalsPublishNothing) {
