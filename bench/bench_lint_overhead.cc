@@ -6,10 +6,23 @@
 // alone, over the paper's Q2-style join (the deepest advice chain the
 // examples install) and the agent-side re-verification of a decoded weave.
 // Expect the whole gate in the microseconds; parsing dominates compilation.
+//
+// The reachability passes (PT301/PT303/PT305) add graph searches over the
+// system propagation graph, so this binary also runs as a regression gate:
+// after the google-benchmark suite, it lints a corpus of paper queries
+// against the *full* Hadoop topology (HDFS + HBase + YARN + MapReduce, every
+// boundary declared) and fails if any single query's install-time analysis
+// exceeds --max-lint-micros (default 1000, the ISSUE's 1 ms budget).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
 #include "src/analysis/query_linter.h"
+#include "src/analysis/reachability.h"
+#include "src/hadoop/cluster.h"
 #include "src/query/compiler.h"
 #include "src/query/parser.h"
 
@@ -35,6 +48,13 @@ TracepointRegistry* Schema() {
     return s;
   }();
   return schema;
+}
+
+// The full simulated deployment: every component, every declared boundary.
+// Shared by the reachability benchmarks and the gate in main().
+HadoopCluster* Cluster() {
+  static HadoopCluster* cluster = new HadoopCluster(HadoopClusterConfig{});
+  return cluster;
 }
 
 void BM_CompileNoVerify(benchmark::State& state) {
@@ -70,6 +90,32 @@ void BM_LintAlone(benchmark::State& state) {
 }
 BENCHMARK(BM_LintAlone);
 
+void BM_LintWithReachability(benchmark::State& state) {
+  // Same lint, plus the propagation graph of the full deployment: PT301 join
+  // reachability, PT303 entry reachability, PT305 path-aware growth bounds.
+  SimWorld* world = Cluster()->world();
+  QueryCompiler::Options options;
+  options.verify = false;
+  QueryCompiler compiler(world->schema(), nullptr, options);
+  CompiledQuery compiled = *compiler.Compile(*ParseQuery(kQ2), 1);
+  analysis::LintOptions lint_options;
+  lint_options.schema = world->schema();
+  lint_options.propagation = &world->propagation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LintCompiledQuery(compiled, lint_options));
+  }
+}
+BENCHMARK(BM_LintWithReachability);
+
+void BM_AuditTopology(benchmark::State& state) {
+  // The whole-topology audit behind the shell `topology` command.
+  const analysis::PropagationRegistry& graph = Cluster()->world()->propagation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::AuditTopology(graph));
+  }
+}
+BENCHMARK(BM_AuditTopology);
+
 void BM_AgentReverify(benchmark::State& state) {
   // What every agent pays per weave command: schema-less, no dead-column
   // heuristics (mirrors PTAgent::HandleCommand).
@@ -91,7 +137,80 @@ void BM_AgentReverify(benchmark::State& state) {
 }
 BENCHMARK(BM_AgentReverify);
 
+// ---- The ≤1 ms install-time analysis gate ----
+
+// Paper-style queries spanning the deployment: plain aggregation, the Fig 1
+// join, a three-stage HDFS join, and a cross-system MapReduce/YARN join —
+// the widest reachability searches the corpus triggers.
+constexpr const char* kGateCorpus[] = {
+    kQ2,
+    "From DNop In DN.DataTransferProtocol "
+    "Join getloc In NN.GetBlockLocations On getloc -> DNop "
+    "Join st In StressTest.DoNextOp On st -> getloc "
+    "GroupBy DNop.host, getloc.replicas Select DNop.host, getloc.replicas, COUNT",
+    "From d In MR.MapTaskDone "
+    "Join c In MostRecent(YARN.ContainerStart) On c -> d "
+    "Select d.time - c.time",
+    "From response In HBase.ResponseReceived "
+    "Join request In MostRecent(HBase.RequestSent) On request -> response "
+    "Select response.time - request.time As latencyMicros",
+};
+
+int RunLintGate(double max_lint_micros) {
+  SimWorld* world = Cluster()->world();
+  analysis::LintOptions lint_options;
+  lint_options.schema = world->schema();
+  lint_options.propagation = &world->propagation();
+
+  printf("\nInstall-time analysis gate: full Hadoop topology (%zu components, %zu boundaries)\n",
+         world->propagation().Components().size(), world->propagation().Edges().size());
+  constexpr int kIters = 200;
+  constexpr int kPasses = 5;
+  bool failed = false;
+  for (const char* text : kGateCorpus) {
+    QueryCompiler::Options options;
+    options.verify = false;
+    QueryCompiler compiler(world->schema(), nullptr, options);
+    CompiledQuery compiled = *compiler.Compile(*ParseQuery(text), 1);
+    double best_micros = 1e100;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) {
+        benchmark::DoNotOptimize(LintCompiledQuery(compiled, lint_options));
+      }
+      double micros = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      kIters;
+      if (micros < best_micros) {
+        best_micros = micros;
+      }
+    }
+    bool over = best_micros > max_lint_micros;
+    failed |= over;
+    printf("  %8.1f us/query %s  %.60s...\n", best_micros, over ? "FAIL" : "ok  ", text);
+  }
+  if (failed) {
+    printf("FAIL: install-time analysis exceeded %.0f us for at least one query\n",
+           max_lint_micros);
+    return 1;
+  }
+  printf("PASS: every query analyzed within %.0f us\n", max_lint_micros);
+  return 0;
+}
+
 }  // namespace
 }  // namespace pivot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double max_lint_micros = 1000.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-lint-micros=", 18) == 0) {
+      max_lint_micros = std::atof(argv[i] + 18);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return pivot::RunLintGate(max_lint_micros);
+}

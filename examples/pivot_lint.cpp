@@ -14,6 +14,11 @@
 //       Lints each query (one per stdin line with '-', or one per argument)
 //       and exits non-zero if any has error-severity findings — usable as a
 //       pre-install gate in scripts.
+//
+//   ./build/examples/pivot_lint topology
+//       Prints the cluster's system propagation graph (components, declared
+//       causal boundaries, tracepoint anchors) and runs the whole-topology
+//       audit (PT302/PT303/PT304). Exits non-zero on audit errors.
 
 #include <cstdio>
 #include <iostream>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "src/analysis/query_linter.h"
+#include "src/analysis/reachability.h"
 #include "src/hadoop/cluster.h"
 #include "src/query/compiler.h"
 
@@ -65,10 +71,33 @@ void Gallery() {
   demo_def.exports = {"x", "s"};
   (void)schema.Define(demo_def);
 
+  // PT30x diagnostics need a propagation graph: a front end ("FE", the client
+  // entry) hands work to a back end ("BE") across a thread-pool queue that
+  // drops baggage, and an "ISLAND" component no request ever reaches.
+  analysis::PropagationRegistry graph;
+  graph.DeclareComponent("FE", /*client_entry=*/true);
+  graph.DeclareEdge(analysis::PropagationEdge{"FE", "BE", "queue", "thread pool",
+                                              /*forwards_baggage=*/false});
+  // A forwarding chain FE -> DB -> DW: the PT305 growth bound multiplies the
+  // packed width by the longest forwarding path from the packer (2 hops here).
+  graph.DeclareEdge(analysis::PropagationEdge{"FE", "DB", "rpc", "lookup",
+                                              /*forwards_baggage=*/true});
+  graph.DeclareEdge(analysis::PropagationEdge{"DB", "DW", "rpc", "archive",
+                                              /*forwards_baggage=*/true});
+  for (const auto& [name, component] : std::vector<std::pair<const char*, const char*>>{
+           {"fe.tp", "FE"}, {"be.tp", "BE"}, {"island.tp", "ISLAND"}}) {
+    TracepointDef def;
+    def.name = name;
+    def.exports = {"x"};
+    def.component = component;
+    (void)schema.Define(def);
+  }
+
   struct Offender {
     const char* codes;
     const char* story;
     CompiledQuery query;
+    size_t budget = analysis::kDefaultBaggageBudget;
   };
   const uint64_t kId = 7;
   const BagKey kBag = kId * kBagKeysPerQuery;  // Stage-0 bag of query 7.
@@ -145,12 +174,40 @@ void Gallery() {
                           .Observe({{"x", "t.x"}})
                           .Emit(kId, {"a.x", "b.x", "t.x"})
                           .Build()}})});
+  gallery.push_back(
+      {"PT301 + PT302", "happened-before join across a baggage-dropping boundary",
+       q({{"fe.tp", AdviceBuilder()
+                        .Observe({{"x", "a.x"}})
+                        .Pack(kBag, BagSpec::First(), {"a.x"})
+                        .Build()},
+          {"be.tp", AdviceBuilder()
+                        .Unpack(kBag)
+                        .Observe({{"x", "b.x"}})
+                        .Emit(kId, {"a.x", "b.x"})
+                        .Build()}})});
+  gallery.push_back({"PT303", "tracepoint in a component no client entry can reach",
+                     q({{"island.tp", AdviceBuilder()
+                                          .Observe({{"x", "t.x"}})
+                                          .Emit(kId, {"t.x"})
+                                          .Build()}})});
+  gallery.push_back(
+      {"PT305 (+PT208)", "All-semantics pack whose worst-case growth exceeds the budget",
+       q({{"fe.tp", AdviceBuilder()
+                        .Observe({{"x", "a.x"}})
+                        .Let("y", Expr::Field("a.x"))
+                        .Let("z", Expr::Field("a.x"))
+                        .Pack(kBag, BagSpec::All(), {"a.x", "y", "z"})
+                        .Build()},
+          {"fe.tp", AdviceBuilder().Unpack(kBag).Emit(kId, {"a.x", "y", "z"}).Build()}}),
+       /*budget=*/4});
 
   printf("\n=== broken-advice gallery (one offender per diagnostic) ===\n");
   for (const auto& offender : gallery) {
     printf("\n[%s] %s\n", offender.codes, offender.story);
     analysis::LintOptions options;
     options.schema = &schema;
+    options.propagation = &graph;
+    options.baggage_budget = offender.budget;
     PrintReport(LintCompiledQuery(offender.query, options));
   }
 }
@@ -174,6 +231,18 @@ int main(int argc, char** argv) {
   // runs.
   HadoopCluster cluster(HadoopClusterConfig{});
   Frontend* frontend = cluster.world()->frontend();
+
+  if (argc > 1 && std::string(argv[1]) == "topology") {
+    const analysis::PropagationRegistry& graph = cluster.world()->propagation();
+    printf("%s", graph.RenderText().c_str());
+    analysis::Report audit = analysis::AuditTopology(graph);
+    if (audit.empty()) {
+      printf("audit: clean (every boundary declared, every component reachable)\n");
+    } else {
+      printf("%s", audit.ToString().c_str());
+    }
+    return audit.has_errors() ? 1 : 0;
+  }
 
   if (argc > 1) {
     int failures = 0;

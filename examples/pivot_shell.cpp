@@ -32,6 +32,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/analysis/reachability.h"
 #include "src/common/strings.h"
 #include "src/hadoop/cluster.h"
 
@@ -172,6 +173,7 @@ constexpr char kHelp[] =
     "  series <id>         per-second results\n"
     "  uninstall <id>      remove a query\n"
     "  tracepoints         list the tracepoint vocabulary\n"
+    "  topology            system propagation graph + audit (PT302/303/304)\n"
     "  queries             list installed query ids\n"
     "  status [json]       query lifecycle + agent health + bus + telemetry\n"
     "  help, quit\n";
@@ -234,6 +236,15 @@ int main() {
       for (const auto& name : shell.cluster.world()->schema()->Names()) {
         const Tracepoint* tp = shell.cluster.world()->schema()->Find(name);
         printf("  %-36s exports: %s\n", name.c_str(), StrJoin(tp->def().exports, ", ").c_str());
+      }
+    } else if (cmd == "topology") {
+      const analysis::PropagationRegistry& graph = shell.cluster.world()->propagation();
+      printf("%s", graph.RenderText().c_str());
+      analysis::Report audit = analysis::AuditTopology(graph);
+      if (audit.empty()) {
+        printf("audit: clean (every boundary declared, every component reachable)\n");
+      } else {
+        printf("%s", audit.ToString().c_str());
       }
     } else if (cmd == "queries") {
       for (uint64_t id : shell.installed) {

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 verification: configure, build, run the full test suite, then the
 # telemetry probe-effect gate (unwoven tracepoint fast path must stay within
-# MAX_OVERHEAD_PCT of the seed implementation; see docs/OBSERVABILITY.md).
+# MAX_OVERHEAD_PCT of the seed implementation; see docs/OBSERVABILITY.md) and
+# the install-time analysis gate (static analysis of one query on the full
+# Hadoop topology must stay under MAX_LINT_MICROS; see docs/ANALYSIS.md).
 #
 # Usage: scripts/check.sh [--sanitize=<mode>] [build-dir]
 #   --sanitize=address   build with ASan+UBSan in a separate build dir
@@ -55,6 +57,12 @@ fi
 echo
 echo "=== telemetry overhead gate (<= ${max_overhead}%) ==="
 "$build_dir/bench/bench_telemetry_overhead" --max-overhead-pct="$max_overhead"
+
+max_lint_micros=${MAX_LINT_MICROS:-1000}
+echo
+echo "=== install-time analysis gate (<= ${max_lint_micros} us/query) ==="
+"$build_dir/bench/bench_lint_overhead" --benchmark_min_time=0.01s \
+  --max-lint-micros="$max_lint_micros"
 
 echo
 echo "All checks passed."

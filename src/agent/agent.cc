@@ -75,6 +75,10 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
       {
         analysis::LintOptions lint_options;
         lint_options.assume_projection_pushdown = false;
+        // Reachability against the deployment model, when wired: component
+        // resolution falls back to the graph's tracepoint anchors since
+        // there is no schema here.
+        lint_options.propagation = propagation_;
         analysis::LintPlan plan;
         plan.aggregated = cmd.plan.aggregated;
         plan.group_fields = cmd.plan.group_fields;

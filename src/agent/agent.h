@@ -29,6 +29,10 @@
 
 namespace pivot {
 
+namespace analysis {
+class PropagationRegistry;
+}  // namespace analysis
+
 // After this many consecutive empty flushes for a query, the agent publishes
 // a kStats heartbeat so the frontend can tell a quiet query from a dead
 // agent, then restarts the count (docs/OBSERVABILITY.md).
@@ -57,6 +61,13 @@ class PTAgent : public EmitSink {
   // weave-ack/heartbeat timestamps from the runtime clock, and firing the
   // `PTAgent.Flush` meta-tracepoint after each flush (runtime->meta).
   void set_runtime(ProcessRuntime* runtime) { runtime_ = runtime; }
+
+  // Optional: the deployment's propagation graph, consulted by weave
+  // re-verification (PT301/PT305 — an agent refuses advice whose joins the
+  // topology cannot satisfy). Null skips those passes. Not owned.
+  void set_propagation(const analysis::PropagationRegistry* propagation) {
+    propagation_ = propagation;
+  }
 
   // EmitSink: advice output lands here and is partially aggregated (or
   // buffered, for streaming queries) per source query.
@@ -104,6 +115,7 @@ class PTAgent : public EmitSink {
   TracepointRegistry* registry_;
   ProcessInfo info_;
   ProcessRuntime* runtime_ = nullptr;
+  const analysis::PropagationRegistry* propagation_ = nullptr;
   MessageBus::SubscriberId subscription_ = 0;
 
   mutable std::mutex mu_;

@@ -23,6 +23,16 @@ void Frontend::set_now_micros(std::function<int64_t()> now_micros) {
   now_micros_ = std::move(now_micros);
 }
 
+void Frontend::set_propagation(const analysis::PropagationRegistry* propagation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  propagation_ = propagation;
+}
+
+const analysis::PropagationRegistry* Frontend::propagation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return propagation_;
+}
+
 std::map<BagKey, uint64_t> Frontend::InstalledBagsLocked() const {
   std::map<BagKey, uint64_t> bags;
   for (const auto& [id, q] : queries_) {
@@ -108,10 +118,12 @@ Result<analysis::QueryLintResult> Frontend::Lint(std::string_view text,
 
   uint64_t prospective_id;
   std::map<BagKey, uint64_t> installed;
+  const analysis::PropagationRegistry* propagation = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     prospective_id = next_query_id_;  // Peek only: nothing is installed.
     installed = InstalledBagsLocked();
+    propagation = propagation_;
   }
   Result<CompiledQuery> compiled = compiler.Compile(parsed.value(), prospective_id);
   if (!compiled.ok()) {
@@ -121,6 +133,8 @@ Result<analysis::QueryLintResult> Frontend::Lint(std::string_view text,
   lint_options.schema = schema_;
   lint_options.assume_projection_pushdown = options.push_projection;
   lint_options.installed_bags = &installed;
+  lint_options.propagation = propagation;
+  lint_options.baggage_budget = options.baggage_budget;
   return LintCompiledQuery(*compiled, lint_options);
 }
 
@@ -157,6 +171,7 @@ Result<uint64_t> Frontend::InstallCompiled(CompiledQuery compiled, const Install
   // a fresh one and require the caller to have used non-colliding bag keys.
   uint64_t query_id = compiled.query_id;
   std::map<BagKey, uint64_t> installed;
+  const analysis::PropagationRegistry* propagation = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (query_id == 0 || queries_.count(query_id) != 0) {
@@ -164,6 +179,7 @@ Result<uint64_t> Frontend::InstallCompiled(CompiledQuery compiled, const Install
       compiled.query_id = query_id;
     }
     installed = InstalledBagsLocked();
+    propagation = propagation_;
   }
 
   // Install-time gate (second verification boundary): errors always reject,
@@ -173,6 +189,8 @@ Result<uint64_t> Frontend::InstallCompiled(CompiledQuery compiled, const Install
     lint_options.schema = schema_;
     lint_options.assume_projection_pushdown = options.lint_projection;
     lint_options.installed_bags = &installed;
+    lint_options.propagation = propagation;
+    lint_options.baggage_budget = options.baggage_budget;
     analysis::QueryLintResult lint = LintCompiledQuery(compiled, lint_options);
     if (lint.report.has_errors() || (lint.report.has_warnings() && !options.force)) {
       std::string message = "query rejected by static analysis:\n" + lint.report.ToString();

@@ -53,6 +53,13 @@ class Frontend {
   // Named-query registry for subquery joins (register Q8, then install Q9).
   Status RegisterNamedQuery(const std::string& name, std::string_view text);
 
+  // Deployment propagation graph (src/analysis/causality_graph.h) consulted
+  // by the install gate's reachability passes (PT301/PT302/PT303/PT305).
+  // Null (the default) skips those passes. Not owned; must outlive the
+  // frontend. The simulator wires the SimWorld's registry here.
+  void set_propagation(const analysis::PropagationRegistry* propagation);
+  const analysis::PropagationRegistry* propagation() const;
+
   // Install-time policy knobs. The static analyzer (src/analysis) gates every
   // install: error-severity findings always reject, warning-severity findings
   // reject unless `force` is set (the --force escape hatch), infos never
@@ -65,6 +72,9 @@ class Frontend {
     // for Explain counting shadows, whose packs intentionally keep the
     // original query's columns while consuming only "$stage".
     bool lint_projection = true;
+    // PT305 worst-case baggage growth budget (tuple-cells per request).
+    // Exceeding it is error-severity: force does NOT override it.
+    size_t baggage_budget = analysis::kDefaultBaggageBudget;
   };
 
   // Parses, compiles and installs a query; returns its id. `options` toggles
@@ -178,6 +188,7 @@ class Frontend {
 
   MessageBus* bus_;
   const TracepointRegistry* schema_;
+  const analysis::PropagationRegistry* propagation_ = nullptr;  // Guarded by mu_.
   QueryRegistry named_queries_;
   MessageBus::SubscriberId subscription_ = 0;
 

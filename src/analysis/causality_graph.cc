@@ -1,0 +1,146 @@
+#include "src/analysis/causality_graph.h"
+
+#include <sstream>
+
+namespace pivot {
+namespace analysis {
+
+void DeclareRpcBoundary(PropagationRegistry* registry, const std::string& from,
+                        const std::string& to, const std::string& label) {
+  registry->DeclareEdge(PropagationEdge{from, to, "rpc", label, /*forwards_baggage=*/true});
+  registry->DeclareEdge(
+      PropagationEdge{to, from, "rpc-response", label, /*forwards_baggage=*/true});
+}
+
+void PropagationRegistry::DeclareComponent(const std::string& name, bool client_entry) {
+  if (name.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ComponentInfo& info = components_[name];
+  info.name = name;
+  info.client_entry |= client_entry;
+}
+
+void PropagationRegistry::DeclareEdge(PropagationEdge edge) {
+  if (edge.from.empty() || edge.to.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& end : {edge.from, edge.to}) {
+    ComponentInfo& info = components_[end];
+    info.name = end;
+  }
+  edges_.insert(std::move(edge));
+}
+
+void PropagationRegistry::ObserveEdge(const std::string& from, const std::string& to,
+                                      const std::string& kind) {
+  if (from.empty() || to.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  observed_.insert(ObservedEdge{from, to, kind});
+}
+
+void PropagationRegistry::AnchorTracepoint(const std::string& tracepoint,
+                                           const std::string& component) {
+  if (tracepoint.empty() || component.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  anchors_[tracepoint] = component;
+  ComponentInfo& info = components_[component];
+  info.name = component;
+}
+
+std::string PropagationRegistry::ComponentOf(const std::string& tracepoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = anchors_.find(tracepoint);
+  return it == anchors_.end() ? std::string() : it->second;
+}
+
+std::vector<ComponentInfo> PropagationRegistry::Components() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ComponentInfo> out;
+  out.reserve(components_.size());
+  for (const auto& [name, info] : components_) {
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<PropagationEdge> PropagationRegistry::Edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<PropagationEdge>(edges_.begin(), edges_.end());
+}
+
+std::vector<ObservedEdge> PropagationRegistry::Observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ObservedEdge>(observed_.begin(), observed_.end());
+}
+
+std::map<std::string, std::string> PropagationRegistry::Anchors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anchors_;
+}
+
+bool PropagationRegistry::empty() const {
+  // A graph with no declared boundaries is no model at all — components or
+  // anchors alone must not switch the reachability passes on.
+  std::lock_guard<std::mutex> lock(mu_);
+  return edges_.empty();
+}
+
+std::string PropagationRegistry::RenderText() const {
+  std::vector<ComponentInfo> components = Components();
+  std::vector<PropagationEdge> edges = Edges();
+  std::vector<ObservedEdge> observed = Observed();
+  std::map<std::string, std::string> anchors = Anchors();
+
+  std::ostringstream out;
+  out << "propagation graph: " << components.size() << " components, " << edges.size()
+      << " declared boundaries\n";
+  out << "components:\n";
+  for (const ComponentInfo& c : components) {
+    out << "  " << c.name << (c.client_entry ? "  [client entry]" : "") << "\n";
+  }
+  out << "boundaries:\n";
+  for (const PropagationEdge& e : edges) {
+    out << "  " << e.from << " -> " << e.to << "  (" << e.kind;
+    if (!e.label.empty()) {
+      out << ": " << e.label;
+    }
+    out << ")" << (e.forwards_baggage ? "" : "  DROPS BAGGAGE") << "\n";
+  }
+  if (!anchors.empty()) {
+    out << "tracepoint anchors:\n";
+    for (const auto& [tp, component] : anchors) {
+      out << "  " << tp << " @ " << component << "\n";
+    }
+  }
+  // Observed crossings with no declared counterpart — the §6 failure mode.
+  std::vector<ObservedEdge> unknown;
+  for (const ObservedEdge& o : observed) {
+    bool declared = false;
+    for (const PropagationEdge& e : edges) {
+      if (e.from == o.from && e.to == o.to && e.kind == o.kind) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      unknown.push_back(o);
+    }
+  }
+  if (!unknown.empty()) {
+    out << "UNDECLARED boundaries observed at runtime:\n";
+    for (const ObservedEdge& o : unknown) {
+      out << "  " << o.from << " -> " << o.to << "  (" << o.kind << ")\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace analysis
+}  // namespace pivot

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/analysis/reachability.h"
+
 namespace pivot {
 namespace analysis {
 
@@ -359,6 +361,125 @@ QueryLintResult QueryLinter::Lint(
                  "joins " + std::to_string(unbounded_unpacks) +
                      " unbounded bags: the unpack join is a cartesian product, so the working "
                      "set can blow up multiplicatively (truncated at kMaxWorkingSet)");
+    }
+  }
+
+  // ---- Deployment reachability (PT301 / PT302 / PT303 / PT305) ----
+  //
+  // Only with a non-empty propagation graph: no model, no opinion. Component
+  // resolution prefers the schema's TracepointDef::component (present when
+  // the frontend lints), falling back to the graph's anchors (agent-side
+  // re-verify has no schema). An unresolvable component skips the check —
+  // the gate must never reject a query it cannot reason about.
+
+  const PropagationRegistry* graph = options_.propagation;
+  if (graph != nullptr && !graph->empty()) {
+    auto component_of = [&](const std::string& tp_name) -> std::string {
+      if (options_.schema != nullptr) {
+        Tracepoint* tp = options_.schema->Find(tp_name);
+        if (tp != nullptr && !tp->def().component.empty()) {
+          return tp->def().component;
+        }
+      }
+      return graph->ComponentOf(tp_name);
+    };
+
+    // PT301: every unpacked bag needs some packer whose component has a
+    // baggage-forwarding path to the unpacker's. Unknown components on
+    // either side satisfy the check.
+    for (const StageInfo& stage : stages) {
+      std::string here = component_of(*stage.tracepoint);
+      if (here.empty()) {
+        continue;
+      }
+      for (BagKey b : stage.unpacks) {
+        auto it = packers.find(b);
+        if (it == packers.end()) {
+          continue;  // PT106 territory, already reported by the verifier.
+        }
+        bool satisfiable = false;
+        bool dropped_path = false;
+        std::set<std::string> sources;
+        for (size_t i : it->second) {
+          std::string there = component_of(*stages[i].tracepoint);
+          if (there.empty() || ForwardingReachable(*graph, there, here)) {
+            satisfiable = true;
+            break;
+          }
+          sources.insert(there);
+          dropped_path |= AnyReachable(*graph, there, here);
+        }
+        if (satisfiable) {
+          continue;
+        }
+        std::string from;
+        for (const std::string& s : sources) {
+          from += (from.empty() ? "" : ", ") + s;
+        }
+        report.Add("PT301", Severity::kError, *stage.tracepoint, -1,
+                   "unsatisfiable happened-before join: no baggage-forwarding path connects "
+                   "{" + from + "} to '" + here + "', so bag " + std::to_string(b) +
+                       " can never arrive here — the query would install cleanly and "
+                       "silently return nothing");
+        if (dropped_path) {
+          report.Add("PT302", Severity::kWarning, *stage.tracepoint, -1,
+                     "a causal path from {" + from + "} to '" + here +
+                         "' exists but crosses a boundary that drops baggage: extend the "
+                         "protocol to forward baggage across it (§6)");
+        }
+      }
+    }
+
+    // PT303: tracepoints anchored to components no client entry reaches.
+    // Skipped when the model declares no entry points at all.
+    if (HasClientEntry(*graph)) {
+      std::set<std::string> flagged;
+      for (const StageInfo& stage : stages) {
+        std::string here = component_of(*stage.tracepoint);
+        if (here.empty() || !flagged.insert(here).second) {
+          continue;
+        }
+        if (!ReachableFromEntry(*graph, here)) {
+          report.Add("PT303", Severity::kWarning, *stage.tracepoint, -1,
+                     "component '" + here +
+                         "' is unreachable from every client entry point: this tracepoint "
+                         "can never observe client-initiated requests");
+        }
+      }
+    }
+
+    // PT305: path-aware worst-case growth for All-semantics packs. PT208
+    // flags the local risk as info; this bounds it against the deployment —
+    // an All pack at component C can add (tuple width) cells per invocation
+    // at every forwarding boundary crossing along the longest simple path
+    // out of C. Over budget is an error (not forceable).
+    for (const auto& [bag, cols] : result.bags) {
+      if (cols.spec.semantics != PackSemantics::kAll) {
+        continue;
+      }
+      auto it = packers.find(bag);
+      if (it == packers.end()) {
+        continue;
+      }
+      for (size_t i : it->second) {
+        std::string there = component_of(*stages[i].tracepoint);
+        if (there.empty()) {
+          continue;
+        }
+        size_t crossings = std::max<size_t>(1, LongestForwardingPathFrom(*graph, there));
+        size_t width =
+            cols.open_columns ? size_t{8} : std::max<size_t>(1, cols.columns.size());
+        size_t bound = crossings * width;
+        if (bound > options_.baggage_budget) {
+          report.Add("PT305", Severity::kError, *stages[i].tracepoint, -1,
+                     "worst-case baggage growth for bag " + std::to_string(bag) + ": " +
+                         std::to_string(crossings) + " forwarding boundary crossings from '" +
+                         there + "' × " + std::to_string(width) + " columns = " +
+                         std::to_string(bound) + " tuple-cells per request, over the budget "
+                         "of " + std::to_string(options_.baggage_budget) +
+                         " (Fig 10 growth; bound the pack or raise the budget)");
+        }
+      }
     }
   }
 

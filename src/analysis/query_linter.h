@@ -11,6 +11,13 @@
 // baggage cost is classified bounded / unbounded-but-sampled / unbounded
 // (PT208/PT209, the §4 "full table scan" risk).
 //
+// When a propagation graph is supplied (LintOptions::propagation), the linter
+// additionally checks the query against the *deployment*: every `->` join
+// needs a baggage-forwarding path between its components (PT301, with PT302
+// pointing at dropping boundaries), tracepoints should be reachable from a
+// client entry point (PT303), and All-semantics packs get a path-aware
+// worst-case growth bound checked against a budget (PT305).
+//
 // The linter deliberately takes primitives (query id + (tracepoint, advice)
 // pairs + a LintPlan) instead of CompiledQuery so the analysis library
 // depends only on core; the query layer adapts CompiledQuery to this API
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "src/analysis/advice_verifier.h"
+#include "src/analysis/causality_graph.h"
 #include "src/analysis/diagnostics.h"
 #include "src/core/advice.h"
 #include "src/core/aggregation.h"
@@ -48,6 +56,10 @@ enum class BaggageCost : uint8_t {
 
 // "bounded" / "unbounded-sampled" / "unbounded".
 const char* BaggageCostName(BaggageCost c);
+
+// Default PT305 budget (tuple-cells of worst-case All-semantics growth per
+// request). See LintOptions::baggage_budget.
+inline constexpr size_t kDefaultBaggageBudget = 256;
 
 // The result-side plan the linter checks emitted columns against — a
 // core-layer mirror of the agent protocol's ResultPlan (the adapter copies
@@ -72,6 +84,20 @@ struct LintOptions {
   // Bags of queries already installed, keyed by bag -> owning query id.
   // Enables the cross-query collision check (PT203).
   const std::map<BagKey, uint64_t>* installed_bags = nullptr;
+
+  // The deployment's propagation graph (causality_graph.h). Null — or a
+  // graph with no declared boundaries — disables the reachability passes
+  // (PT301/PT302/PT303/PT305), conservatively: a missing model must never
+  // reject a query. Tracepoints resolve to components via the schema's
+  // TracepointDef::component first, then the registry's anchors; tracepoints
+  // with no known component are skipped by every reachability check.
+  const PropagationRegistry* propagation = nullptr;
+
+  // PT305 budget: the worst-case All-semantics baggage growth bound
+  // (forwarding boundary crossings × packed tuple width) above which the
+  // query is an install-time error. Generous by default — the paper's own
+  // queries bound out in the tens on the full Hadoop topology.
+  size_t baggage_budget = kDefaultBaggageBudget;
 };
 
 struct QueryLintResult {

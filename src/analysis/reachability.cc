@@ -1,0 +1,170 @@
+#include "src/analysis/reachability.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace pivot {
+namespace analysis {
+
+namespace {
+
+using Adjacency = std::map<std::string, std::set<std::string>>;
+
+Adjacency BuildAdjacency(const PropagationRegistry& registry, bool forwarding_only) {
+  Adjacency adj;
+  for (const PropagationEdge& e : registry.Edges()) {
+    if (forwarding_only && !e.forwards_baggage) {
+      continue;
+    }
+    adj[e.from].insert(e.to);
+  }
+  return adj;
+}
+
+bool Reaches(const Adjacency& adj, const std::string& from, const std::string& to) {
+  if (from == to) {
+    return true;
+  }
+  std::set<std::string> seen{from};
+  std::deque<std::string> frontier{from};
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    auto it = adj.find(cur);
+    if (it == adj.end()) {
+      continue;
+    }
+    for (const std::string& next : it->second) {
+      if (next == to) {
+        return true;
+      }
+      if (seen.insert(next).second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+size_t LongestSimplePath(const Adjacency& adj, const std::string& node,
+                         std::set<std::string>* visited) {
+  auto it = adj.find(node);
+  if (it == adj.end()) {
+    return 0;
+  }
+  size_t best = 0;
+  for (const std::string& next : it->second) {
+    if (visited->count(next) != 0) {
+      continue;
+    }
+    visited->insert(next);
+    best = std::max(best, 1 + LongestSimplePath(adj, next, visited));
+    visited->erase(next);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool ForwardingReachable(const PropagationRegistry& registry, const std::string& from,
+                         const std::string& to) {
+  return Reaches(BuildAdjacency(registry, /*forwarding_only=*/true), from, to);
+}
+
+bool AnyReachable(const PropagationRegistry& registry, const std::string& from,
+                  const std::string& to) {
+  return Reaches(BuildAdjacency(registry, /*forwarding_only=*/false), from, to);
+}
+
+bool HasClientEntry(const PropagationRegistry& registry) {
+  for (const ComponentInfo& c : registry.Components()) {
+    if (c.client_entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ReachableFromEntry(const PropagationRegistry& registry, const std::string& component) {
+  Adjacency adj = BuildAdjacency(registry, /*forwarding_only=*/false);
+  for (const ComponentInfo& c : registry.Components()) {
+    if (c.client_entry && Reaches(adj, c.name, component)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t LongestForwardingPathFrom(const PropagationRegistry& registry, const std::string& from) {
+  Adjacency adj = BuildAdjacency(registry, /*forwarding_only=*/true);
+  std::set<std::string> visited{from};
+  return LongestSimplePath(adj, from, &visited);
+}
+
+Report AuditTopology(const PropagationRegistry& registry) {
+  Report report;
+
+  // PT302: boundaries that drop baggage. Every one is a place where a `->`
+  // join silently loses its left side.
+  for (const PropagationEdge& e : registry.Edges()) {
+    if (!e.forwards_baggage) {
+      report.Add("PT302", Severity::kWarning, e.label.empty() ? e.kind : e.label, -1,
+                 "boundary " + e.from + " -> " + e.to + " (" + e.kind +
+                     ") drops baggage: happened-before joins cannot cross it");
+    }
+  }
+
+  // PT303: anchored tracepoints whose component no client entry reaches.
+  // Skipped entirely when the model declares no entry points.
+  if (HasClientEntry(registry)) {
+    Adjacency adj = BuildAdjacency(registry, /*forwarding_only=*/false);
+    std::vector<std::string> entries;
+    for (const ComponentInfo& c : registry.Components()) {
+      if (c.client_entry) {
+        entries.push_back(c.name);
+      }
+    }
+    std::set<std::string> flagged;
+    for (const auto& [tp, component] : registry.Anchors()) {
+      bool reachable = false;
+      for (const std::string& entry : entries) {
+        if (Reaches(adj, entry, component)) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable && flagged.insert(component).second) {
+        report.Add("PT303", Severity::kWarning, tp, -1,
+                   "component '" + component +
+                       "' is unreachable from every client entry point: tracepoints there "
+                       "(e.g. '" + tp + "') can never observe client-initiated requests");
+      }
+    }
+  }
+
+  // PT304: observed crossings with no declared counterpart.
+  std::vector<PropagationEdge> edges = registry.Edges();
+  for (const ObservedEdge& o : registry.Observed()) {
+    bool declared = false;
+    for (const PropagationEdge& e : edges) {
+      if (e.from == o.from && e.to == o.to && e.kind == o.kind) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      report.Add("PT304", Severity::kWarning, "", -1,
+                 "boundary " + o.from + " -> " + o.to + " (" + o.kind +
+                     ") was crossed at runtime but never declared: the static model is "
+                     "missing a protocol definition (the paper's §6 pain)");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace pivot

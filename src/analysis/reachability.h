@@ -1,0 +1,60 @@
+// Happened-before reachability over the propagation graph.
+//
+// Pure algorithms over PropagationRegistry snapshots, plus the whole-topology
+// audit pass (PT302/PT303/PT304). The per-query passes (PT301 join
+// reachability, PT305 path-aware baggage growth) live in the QueryLinter and
+// call these primitives; keeping the graph algorithms here keeps the linter
+// readable and lets the shell `topology` report reuse the audit.
+
+#ifndef PIVOT_SRC_ANALYSIS_REACHABILITY_H_
+#define PIVOT_SRC_ANALYSIS_REACHABILITY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/analysis/causality_graph.h"
+#include "src/analysis/diagnostics.h"
+
+namespace pivot {
+namespace analysis {
+
+// True if `to` is reachable from `from` over baggage-forwarding edges only.
+// Reflexive: a component always reaches itself (baggage flows within one
+// process without crossing a boundary).
+bool ForwardingReachable(const PropagationRegistry& registry, const std::string& from,
+                         const std::string& to);
+
+// Like ForwardingReachable, but follows every declared edge regardless of
+// baggage disposition. Used to distinguish "no causal path at all" (PT301
+// alone) from "a path exists but some boundary drops the baggage" (PT301
+// accompanied by PT302).
+bool AnyReachable(const PropagationRegistry& registry, const std::string& from,
+                  const std::string& to);
+
+// True if `component` is reachable from some client-entry component over any
+// declared edge (or is itself an entry). False when no entry components are
+// declared at all — callers treat that as "model incomplete" and skip PT303.
+bool ReachableFromEntry(const PropagationRegistry& registry, const std::string& component);
+
+// True if the registry declares at least one client-entry component.
+bool HasClientEntry(const PropagationRegistry& registry);
+
+// Edge count of the longest *simple* baggage-forwarding path starting at
+// `from` (0 if the component has no outgoing forwarding edges). The graph is
+// a handful of components, so exhaustive DFS is fine. This bounds how many
+// boundary crossings an All-semantics bag packed at `from` can ride through,
+// which is the multiplier in the PT305 worst-case growth bound.
+size_t LongestForwardingPathFrom(const PropagationRegistry& registry, const std::string& from);
+
+// Whole-topology audit (shell `topology`, pivot_lint --topology):
+//   PT302 (warning)  declared boundary drops baggage.
+//   PT303 (warning)  anchored tracepoint's component unreachable from every
+//                    client entry point.
+//   PT304 (warning)  boundary observed at runtime with no declaration — the
+//                    §6 "manually extended the protocol definitions" smell.
+Report AuditTopology(const PropagationRegistry& registry);
+
+}  // namespace analysis
+}  // namespace pivot
+
+#endif  // PIVOT_SRC_ANALYSIS_REACHABILITY_H_

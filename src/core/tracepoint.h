@@ -51,6 +51,12 @@ struct TracepointDef {
   std::string signature;
   TracepointSite site = TracepointSite::kEntry;
   int line = 0;
+
+  // Node in the propagation graph whose code this tracepoint fires in
+  // (e.g. "NN", "DN", "client"). Empty means unanchored — tracepoints that
+  // fire in several components stay empty and are skipped by the
+  // reachability passes (src/analysis/causality_graph.h).
+  std::string component;
 };
 
 // Immutable snapshot of the advice woven at one tracepoint. Swapped atomically

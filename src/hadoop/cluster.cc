@@ -33,7 +33,8 @@ HadoopCluster::HadoopCluster(HadoopClusterConfig config) : config_(std::move(con
 }
 
 SimProcess* HadoopCluster::AddClient(SimHost* host, std::string name) {
-  return world_.AddProcess(host, std::move(name));
+  // Workload clients are the propagation graph's entry points.
+  return world_.AddProcess(host, std::move(name), "client");
 }
 
 void HadoopCluster::DowngradeNic(SimHost* host, double bytes_per_sec) {

@@ -37,6 +37,9 @@ void HbaseRegionServer::MaybeStartNext() {
 void HbaseRegionServer::RunRequest(PendingRequest req) {
   SimEnvironment* env = proc_->world()->env();
   int64_t queue_micros = env->now_micros() - req.enqueued_at;
+  // Queue hand-off boundary: the request context crossed the RPC-handler
+  // queue into a handler thread (baggage rides the context).
+  proc_->world()->propagation().ObserveEdge(proc_->component(), proc_->component(), "queue");
   tp_queue_done_->Invoke(req.ctx.get(), {{"queue", Value(queue_micros)}});
 
   if (req.op == "put") {
@@ -97,6 +100,9 @@ void HbaseRegionServer::FlushMemstore(const CtxPtr& trigger) {
   memstore_bytes_ = 0;
   ++flushes_;
   auto flush_ctx = std::make_shared<ExecutionContext>(trigger->Fork());
+  // Continuation spawn: the flush runs on a forked branch of the trigger.
+  proc_->world()->propagation().ObserveEdge(proc_->component(), proc_->component(),
+                                            "continuation");
   tp_memstore_flush_->Invoke(flush_ctx.get(), {{"bytes", Value(static_cast<int64_t>(bytes))}});
   // Write the store file through HDFS; the trigger's identity rides along.
   hdfs_.Write(flush_ctx, bytes, [](CtxPtr) {});
@@ -108,6 +114,10 @@ HbaseClient::HbaseClient(SimProcess* proc, std::vector<HbaseRegionServer*> regio
   tp_client_protocols_ = GetOrDefineTracepoint(proc, ClientProtocolsDef());
   tp_request_sent_ = GetOrDefineTracepoint(proc, HbaseRequestSentDef());
   tp_response_received_ = GetOrDefineTracepoint(proc, HbaseResponseReceivedDef());
+  const std::string& me = proc->component();
+  if (!me.empty()) {
+    analysis::DeclareRpcBoundary(&proc->world()->propagation(), me, "RS", "ClientService");
+  }
 }
 
 void HbaseClient::Get(CtxPtr ctx, std::function<void(CtxPtr, RequestResult)> done) {
@@ -162,11 +172,19 @@ HbaseDeployment HbaseDeployment::Create(SimWorld* world, SimHost* master_host,
                                         HdfsNameNode* namenode, HbaseConfig config,
                                         uint64_t seed) {
   HbaseDeployment deployment;
-  deployment.master = world->AddProcess(master_host, "HBaseMaster");
+  // Protocol-level boundaries, declared before any client process exists.
+  analysis::PropagationRegistry& graph = world->propagation();
+  graph.DeclareComponent("client", /*client_entry=*/true);
+  analysis::DeclareRpcBoundary(&graph, "client", "RS", "ClientService");
+  graph.DeclareEdge(analysis::PropagationEdge{"RS", "RS", "queue", "RpcExecutor",
+                                              /*forwards_baggage=*/true});
+  graph.DeclareEdge(analysis::PropagationEdge{"RS", "RS", "continuation", "memstore flush",
+                                              /*forwards_baggage=*/true});
+  deployment.master = world->AddProcess(master_host, "HBaseMaster", "HBaseMaster");
   deployment.config = std::make_unique<HbaseConfig>(config);
   Rng rng(seed);
   for (SimHost* host : rs_hosts) {
-    SimProcess* proc = world->AddProcess(host, "RegionServer");
+    SimProcess* proc = world->AddProcess(host, "RegionServer", "RS");
     deployment.region_servers.push_back(std::make_unique<HbaseRegionServer>(
         proc, namenode, deployment.config.get(), rng.NextUint64()));
   }

@@ -312,6 +312,14 @@ void HdfsNameNode::HandleMetadataOp(CtxPtr ctx, const std::string& op, const std
 HdfsClient::HdfsClient(SimProcess* proc, HdfsNameNode* namenode, uint64_t seed)
     : proc_(proc), namenode_(namenode), rng_(seed) {
   tp_client_protocols_ = GetOrDefineTracepoint(proc, ClientProtocolsDef());
+  // An HDFS client embedded in another component (RegionServer WALs, MRTask
+  // I/O) adds that component's edges to the NameNode and DataNodes.
+  const std::string& me = proc->component();
+  if (!me.empty()) {
+    analysis::PropagationRegistry& graph = proc->world()->propagation();
+    analysis::DeclareRpcBoundary(&graph, me, "NN", "ClientProtocol");
+    analysis::DeclareRpcBoundary(&graph, me, "DN", "DataTransferProtocol");
+  }
 }
 
 void HdfsClient::FireClientProtocols(const CtxPtr& ctx) {
@@ -461,11 +469,19 @@ HdfsDeployment HdfsDeployment::Create(SimWorld* world, SimHost* namenode_host,
                                       const std::vector<SimHost*>& datanode_hosts,
                                       HdfsConfig config, uint64_t seed) {
   HdfsDeployment deployment;
-  SimProcess* nn_proc = world->AddProcess(namenode_host, "NameNode");
+  // The protocol defines the causal boundaries, not the live processes:
+  // declare them at deployment construction so install-time reachability is
+  // stable before any client process exists.
+  analysis::PropagationRegistry& graph = world->propagation();
+  graph.DeclareComponent("client", /*client_entry=*/true);
+  analysis::DeclareRpcBoundary(&graph, "client", "NN", "ClientProtocol");
+  analysis::DeclareRpcBoundary(&graph, "client", "DN", "DataTransferProtocol");
+  analysis::DeclareRpcBoundary(&graph, "DN", "DN", "DataTransferProtocol pipeline");
+  SimProcess* nn_proc = world->AddProcess(namenode_host, "NameNode", "NN");
   deployment.namenode_owned = std::make_unique<HdfsNameNode>(nn_proc, config, seed);
   deployment.namenode = deployment.namenode_owned.get();
   for (SimHost* host : datanode_hosts) {
-    SimProcess* dn_proc = world->AddProcess(host, "DataNode");
+    SimProcess* dn_proc = world->AddProcess(host, "DataNode", "DN");
     deployment.datanodes.push_back(
         std::make_unique<HdfsDataNode>(dn_proc, &deployment.namenode->config()));
     deployment.namenode->RegisterDataNode(deployment.datanodes.back().get());

@@ -34,8 +34,22 @@ struct MapReduceRuntime::JobState {
 MapReduceRuntime::MapReduceRuntime(SimWorld* world, YarnResourceManager* rm,
                                    HdfsNameNode* namenode, uint64_t seed)
     : world_(world), rm_(rm), namenode_(namenode), rng_(seed) {
+  // Protocol-level boundaries for the job lifecycle: submission forks the job
+  // context toward an NM queue, the container body runs in an MRTask process,
+  // reducers shuffle map output between MRTask processes, and finished task
+  // branches rejoin the client's job context.
+  analysis::PropagationRegistry& graph = world->propagation();
+  graph.DeclareComponent("client", /*client_entry=*/true);
+  graph.DeclareEdge(analysis::PropagationEdge{"client", "NM", "continuation", "job submission",
+                                              /*forwards_baggage=*/true});
+  graph.DeclareEdge(analysis::PropagationEdge{"NM", "MRTask", "continuation",
+                                              "container launch", /*forwards_baggage=*/true});
+  graph.DeclareEdge(analysis::PropagationEdge{"MRTask", "MRTask", "continuation", "shuffle",
+                                              /*forwards_baggage=*/true});
+  graph.DeclareEdge(analysis::PropagationEdge{"MRTask", "client", "join", "task rejoin",
+                                              /*forwards_baggage=*/true});
   for (YarnNodeManager* nm : rm->node_managers()) {
-    SimProcess* proc = world->AddProcess(nm->process()->host(), "MRTask");
+    SimProcess* proc = world->AddProcess(nm->process()->host(), "MRTask", "MRTask");
     task_runtimes_.push_back(std::make_unique<MrTaskRuntime>(proc, namenode, rng_.NextUint64()));
   }
 }
@@ -77,6 +91,10 @@ void MapReduceRuntime::SubmitJob(SimProcess* client, CtxPtr ctx, const std::stri
     MrTaskRuntime* rt = RuntimeOn(nm->process()->host());
     auto task_ctx = std::make_shared<ExecutionContext>(ctx->Fork());
     world_->MoveContext(task_ctx, rt->process());
+    world_->propagation().ObserveEdge(client->component(), nm->process()->component(),
+                                      "continuation");
+    world_->propagation().ObserveEdge(nm->process()->component(), rt->process()->component(),
+                                      "continuation");
     nm->LaunchContainer(name, task_ctx, [this, job, i, rt, task_ctx](std::function<void()> release) {
       RunMapTask(job, i, rt, task_ctx, std::move(release));
     });
@@ -125,6 +143,10 @@ void MapReduceRuntime::MaybeStartReduce(const std::shared_ptr<JobState>& job) {
     MrTaskRuntime* rt = RuntimeOn(nm->process()->host());
     auto task_ctx = std::make_shared<ExecutionContext>(job->job_ctx->Fork());
     world_->MoveContext(task_ctx, rt->process());
+    world_->propagation().ObserveEdge(job->client->component(), nm->process()->component(),
+                                      "continuation");
+    world_->propagation().ObserveEdge(nm->process()->component(), rt->process()->component(),
+                                      "continuation");
     nm->LaunchContainer(job->name, task_ctx, [this, job, r, rt, task_ctx](std::function<void()> release) {
       RunReduceTask(job, r, rt, task_ctx, std::move(release));
     });
@@ -181,6 +203,8 @@ void MapReduceRuntime::RunReduceTask(const std::shared_ptr<JobState>& job, int t
     // Read map output from the map host's disk ("Shuffle" source), cross the
     // network (skipped for local fetches), write to the reducer's disk.
     MrTaskRuntime* src_rt = RuntimeOn(map_host);
+    world_->propagation().ObserveEdge(src_rt->process()->component(),
+                                      rt->process()->component(), "continuation");
     auto finish_one = [this, pending, after_shuffle, rt, ctx, fetch]() {
       rt->process()->host()->disk().Transfer(fetch, [this, pending, after_shuffle, rt, ctx,
                                                      fetch]() {
@@ -217,6 +241,10 @@ void MapReduceRuntime::MaybeComplete(const std::shared_ptr<JobState>& job) {
   // Rejoin every task branch into the job context, then fire JobComplete at
   // the client.
   world_->MoveContext(job->job_ctx, job->client);
+  if (!task_runtimes_.empty()) {
+    world_->propagation().ObserveEdge(task_runtimes_.front()->process()->component(),
+                                      job->client->component(), "join");
+  }
   for (auto& task_ctx : job->finished_task_ctxs) {
     job->job_ctx->Join(std::move(*task_ctx));
   }

@@ -33,14 +33,19 @@ void RegisterHadoopTracepointDefs(TracepointRegistry* schema) {
 
 namespace {
 
+// `component` anchors the tracepoint in the propagation graph
+// (docs/TRACEPOINTS.md); empty means the tracepoint fires in more than one
+// component and stays unanchored (reachability passes skip it).
 TracepointDef Make(const char* name, std::vector<std::string> exports, const char* class_name,
-                   const char* method, TracepointSite site = TracepointSite::kEntry) {
+                   const char* method, TracepointSite site = TracepointSite::kEntry,
+                   const char* component = "") {
   TracepointDef def;
   def.name = name;
   def.exports = std::move(exports);
   def.class_name = class_name;
   def.method_name = method;
   def.site = site;
+  def.component = component;
   return def;
 }
 
@@ -51,38 +56,42 @@ TracepointDef ClientProtocolsDef() {
   // (DataTransferProtocol), HBase (ClientService) and MapReduce
   // (ApplicationClientProtocol) — the pack site of Q2.
   return Make(kTpClientProtocols, {"procName", "system"}, "ClientProtocols", "*",
-              TracepointSite::kEntry);
+              TracepointSite::kEntry, "client");
 }
 
 TracepointDef NnGetBlockLocationsDef() {
   return Make(kTpNnGetBlockLocations, {"src", "replicas"}, "NameNodeRpcServer",
-              "getBlockLocations");
+              "getBlockLocations", TracepointSite::kEntry, "NN");
 }
 
 TracepointDef NnClientProtocolDef() {
-  return Make(kTpNnClientProtocol, {"op", "src"}, "NameNodeRpcServer", "*");
+  return Make(kTpNnClientProtocol, {"op", "src"}, "NameNodeRpcServer", "*",
+              TracepointSite::kEntry, "NN");
 }
 
 TracepointDef NnClientProtocolDoneDef() {
   return Make(kTpNnClientProtocolDone, {"op", "lockwait"}, "NameNodeRpcServer", "*",
-              TracepointSite::kExit);
+              TracepointSite::kExit, "NN");
 }
 
 TracepointDef DnDataTransferProtocolDef() {
-  return Make(kTpDnDataTransferProtocol, {"op", "src"}, "DataXceiver", "*");
+  return Make(kTpDnDataTransferProtocol, {"op", "src"}, "DataXceiver", "*",
+              TracepointSite::kEntry, "DN");
 }
 
 TracepointDef DnTransferDoneDef() {
   return Make(kTpDnTransferDone, {"op", "transfer", "blocked", "gc"}, "DataXceiver", "*",
-              TracepointSite::kExit);
+              TracepointSite::kExit, "DN");
 }
 
 TracepointDef IncrBytesReadDef() {
-  return Make(kTpIncrBytesRead, {"delta"}, "DataNodeMetrics", "incrBytesRead");
+  return Make(kTpIncrBytesRead, {"delta"}, "DataNodeMetrics", "incrBytesRead",
+              TracepointSite::kEntry, "DN");
 }
 
 TracepointDef IncrBytesWrittenDef() {
-  return Make(kTpIncrBytesWritten, {"delta"}, "DataNodeMetrics", "incrBytesWritten");
+  return Make(kTpIncrBytesWritten, {"delta"}, "DataNodeMetrics", "incrBytesWritten",
+              TracepointSite::kEntry, "DN");
 }
 
 TracepointDef FileInputStreamReadDef() {
@@ -96,52 +105,62 @@ TracepointDef FileOutputStreamWriteDef() {
 }
 
 TracepointDef StressTestDoNextOpDef() {
-  return Make(kTpStressTestDoNextOp, {"op"}, "StressTest", "doNextOp");
+  return Make(kTpStressTestDoNextOp, {"op"}, "StressTest", "doNextOp",
+              TracepointSite::kEntry, "client");
 }
 
 TracepointDef HbaseClientServiceDef() {
-  return Make(kTpHbaseClientService, {"op", "row"}, "RSRpcServices", "*");
+  return Make(kTpHbaseClientService, {"op", "row"}, "RSRpcServices", "*",
+              TracepointSite::kEntry, "RS");
 }
 
 TracepointDef RsQueueDoneDef() {
-  return Make(kTpRsQueueDone, {"queue"}, "RpcExecutor", "dequeue", TracepointSite::kExit);
+  return Make(kTpRsQueueDone, {"queue"}, "RpcExecutor", "dequeue", TracepointSite::kExit,
+              "RS");
 }
 
 TracepointDef RsProcessDoneDef() {
-  return Make(kTpRsProcessDone, {"process"}, "RSRpcServices", "*", TracepointSite::kExit);
+  return Make(kTpRsProcessDone, {"process"}, "RSRpcServices", "*", TracepointSite::kExit,
+              "RS");
 }
 
 TracepointDef RsMemstoreFlushDef() {
-  return Make(kTpRsMemstoreFlush, {"bytes"}, "HRegion", "internalFlushcache");
+  return Make(kTpRsMemstoreFlush, {"bytes"}, "HRegion", "internalFlushcache",
+              TracepointSite::kEntry, "RS");
 }
 
 TracepointDef HbaseRequestSentDef() {
-  return Make(kTpHbaseRequestSent, {"op"}, "HTable", "*", TracepointSite::kEntry);
+  return Make(kTpHbaseRequestSent, {"op"}, "HTable", "*", TracepointSite::kEntry, "client");
 }
 
 TracepointDef HbaseResponseReceivedDef() {
-  return Make(kTpHbaseResponseReceived, {"op"}, "HTable", "*", TracepointSite::kExit);
+  return Make(kTpHbaseResponseReceived, {"op"}, "HTable", "*", TracepointSite::kExit,
+              "client");
 }
 
 TracepointDef MrAppClientProtocolDef() {
-  return Make(kTpMrAppClientProtocol, {"op", "job"}, "MRClientService", "*");
+  return Make(kTpMrAppClientProtocol, {"op", "job"}, "MRClientService", "*",
+              TracepointSite::kEntry, "client");
 }
 
 TracepointDef JobCompleteDef() {
-  return Make(kTpJobComplete, {"id"}, "JobImpl", "completed", TracepointSite::kExit);
+  return Make(kTpJobComplete, {"id"}, "JobImpl", "completed", TracepointSite::kExit,
+              "client");
 }
 
 TracepointDef YarnContainerStartDef() {
   return Make(kTpYarnContainerStart, {"container", "job"}, "ContainerManagerImpl",
-              "startContainer");
+              "startContainer", TracepointSite::kEntry, "NM");
 }
 
 TracepointDef MapTaskDoneDef() {
-  return Make(kTpMapTaskDone, {"job", "task"}, "MapTask", "run", TracepointSite::kExit);
+  return Make(kTpMapTaskDone, {"job", "task"}, "MapTask", "run", TracepointSite::kExit,
+              "MRTask");
 }
 
 TracepointDef ReduceTaskDoneDef() {
-  return Make(kTpReduceTaskDone, {"job", "task"}, "ReduceTask", "run", TracepointSite::kExit);
+  return Make(kTpReduceTaskDone, {"job", "task"}, "ReduceTask", "run", TracepointSite::kExit,
+              "MRTask");
 }
 
 }  // namespace pivot

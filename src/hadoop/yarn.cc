@@ -22,6 +22,9 @@ void YarnNodeManager::MaybeStartNext() {
   PendingContainer next = std::move(queue_.front());
   queue_.pop_front();
   ++running_;
+  // Queue hand-off boundary: the container request crossed the NM's launch
+  // queue (the context — and its baggage — rides through).
+  proc_->world()->propagation().ObserveEdge(proc_->component(), proc_->component(), "queue");
   int64_t container_id = next_container_id_++;
   // The container launch is part of the submitting job's causal history: the
   // tracepoint fires in the requester's context (fresh context if none).
@@ -53,10 +56,13 @@ YarnDeployment YarnDeployment::Create(SimWorld* world, SimHost* rm_host,
                                       const std::vector<SimHost*>& nm_hosts,
                                       int containers_per_node) {
   YarnDeployment deployment;
-  SimProcess* rm_proc = world->AddProcess(rm_host, "ResourceManager");
+  // Protocol-level boundary: the NM's container launch queue.
+  world->propagation().DeclareEdge(analysis::PropagationEdge{
+      "NM", "NM", "queue", "container launch queue", /*forwards_baggage=*/true});
+  SimProcess* rm_proc = world->AddProcess(rm_host, "ResourceManager", "RM");
   deployment.resource_manager = std::make_unique<YarnResourceManager>(rm_proc);
   for (SimHost* host : nm_hosts) {
-    SimProcess* nm_proc = world->AddProcess(host, "NodeManager");
+    SimProcess* nm_proc = world->AddProcess(host, "NodeManager", "NM");
     deployment.node_managers.push_back(
         std::make_unique<YarnNodeManager>(nm_proc, containers_per_node));
     deployment.resource_manager->RegisterNodeManager(deployment.node_managers.back().get());

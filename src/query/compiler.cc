@@ -713,6 +713,8 @@ Result<CompiledQuery> QueryCompiler::Compile(const Query& q, uint64_t query_id) 
     analysis::LintOptions lint_options;
     lint_options.schema = registry_;
     lint_options.assume_projection_pushdown = options_.push_projection;
+    lint_options.propagation = options_.propagation;
+    lint_options.baggage_budget = options_.baggage_budget;
     analysis::QueryLintResult lint = LintCompiledQuery(out, lint_options);
     if (lint.report.has_errors()) {
       return InvalidArgumentError("query fails static verification:\n" +

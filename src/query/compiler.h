@@ -122,6 +122,12 @@ class QueryCompiler {
     // (compile, install, agent weave). Off only for tooling that wants the
     // raw diagnostics (Frontend::Lint) or deliberately-broken test inputs.
     bool verify = true;
+    // Deployment propagation graph for the reachability passes
+    // (PT301/PT302/PT303/PT305). Null skips them — see
+    // analysis::LintOptions::propagation.
+    const analysis::PropagationRegistry* propagation = nullptr;
+    // PT305 worst-case baggage growth budget (tuple-cells per request).
+    size_t baggage_budget = analysis::kDefaultBaggageBudget;
   };
 
   // `registry` validates tracepoints/exports; `named_queries` resolves

@@ -4,12 +4,12 @@
 
 namespace pivot {
 
-uint64_t RpcStats::total_calls = 0;
-uint64_t RpcStats::total_baggage_bytes = 0;
+std::atomic<uint64_t> RpcStats::total_calls{0};
+std::atomic<uint64_t> RpcStats::total_baggage_bytes{0};
 
 void RpcStats::Reset() {
-  total_calls = 0;
-  total_baggage_bytes = 0;
+  total_calls.store(0, std::memory_order_relaxed);
+  total_baggage_bytes.store(0, std::memory_order_relaxed);
 }
 
 void SimRpcCall(SimProcess* client, SimProcess* server, CtxPtr ctx, uint64_t request_bytes,
@@ -18,9 +18,13 @@ void SimRpcCall(SimProcess* client, SimProcess* server, CtxPtr ctx, uint64_t req
   SimEnvironment* env = world->env();
 
   std::vector<uint8_t> baggage_bytes = SerializeBaggageWithMeta(ctx.get());
-  ++RpcStats::total_calls;
-  RpcStats::total_baggage_bytes += baggage_bytes.size();
+  RpcStats::total_calls.fetch_add(1, std::memory_order_relaxed);
+  RpcStats::total_baggage_bytes.fetch_add(baggage_bytes.size(), std::memory_order_relaxed);
   uint64_t wire_bytes = request_bytes + baggage_bytes.size();
+
+  // Ground truth for the propagation audit (PT304): record the boundary this
+  // call actually crosses, so undeclared protocol edges surface.
+  world->propagation().ObserveEdge(client->component(), server->component(), "rpc");
 
   // Trace attachment survives the hop.
   TraceRecorder* recorder = ctx->recorder();
@@ -51,8 +55,11 @@ void SimRpcCall(SimProcess* client, SimProcess* server, CtxPtr ctx, uint64_t req
                                CtxPtr response_ctx, uint64_t response_bytes) mutable {
         SimEnvironment* env2 = client->world()->env();
         std::vector<uint8_t> response_baggage = SerializeBaggageWithMeta(response_ctx.get());
-        RpcStats::total_baggage_bytes += response_baggage.size();
+        RpcStats::total_baggage_bytes.fetch_add(response_baggage.size(),
+                                                std::memory_order_relaxed);
         uint64_t response_wire = response_bytes + response_baggage.size();
+        client->world()->propagation().ObserveEdge(server->component(), client->component(),
+                                                   "rpc-response");
 
         TraceRecorder* rec2 = response_ctx->recorder();
         uint64_t trace2 = response_ctx->trace_id();

@@ -12,6 +12,7 @@
 #ifndef PIVOT_SRC_SIMSYS_SIM_RPC_H_
 #define PIVOT_SRC_SIMSYS_SIM_RPC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -31,9 +32,12 @@ using RpcHandler = std::function<void(CtxPtr, RpcRespond)>;
 using RpcDone = std::function<void(CtxPtr)>;
 
 struct RpcStats {
-  // Cumulative across all calls made through SimRpcCall.
-  static uint64_t total_calls;
-  static uint64_t total_baggage_bytes;
+  // Cumulative across all calls made through SimRpcCall. Relaxed atomics:
+  // handlers on concurrent test threads mutate these, and a bare uint64_t
+  // is a data race under PIVOT_SANITIZE=thread. Counters only — no ordering
+  // is implied and none is needed.
+  static std::atomic<uint64_t> total_calls;
+  static std::atomic<uint64_t> total_baggage_bytes;
   static void Reset();
 };
 

@@ -27,8 +27,12 @@ double SimHost::NetworkBytesInSecond(int64_t sec) const {
   return out_bytes + in_bytes;
 }
 
-SimProcess::SimProcess(SimWorld* world, SimHost* host, std::string process_name, int64_t pid)
-    : world_(world), host_(host) {
+SimProcess::SimProcess(SimWorld* world, SimHost* host, std::string process_name, int64_t pid,
+                       std::string component)
+    : world_(world), host_(host), component_(std::move(component)) {
+  if (!component_.empty()) {
+    world_->propagation().DeclareComponent(component_);
+  }
   runtime_.info.host = host_->name();
   runtime_.info.process_name = std::move(process_name);
   runtime_.info.process_id = pid;
@@ -44,9 +48,13 @@ SimProcess::SimProcess(SimWorld* world, SimHost* host, std::string process_name,
   }
   telemetry::BindMetaTracepoints(registry_, &runtime_.meta);
   agent_->set_runtime(&runtime_);
+  agent_->set_propagation(&world_->propagation());
 }
 
 Tracepoint* SimProcess::DefineTracepoint(TracepointDef def) {
+  // Anchor the tracepoint in the propagation graph (empty components are
+  // ignored — multi-component tracepoints deliberately stay unanchored).
+  world_->propagation().AnchorTracepoint(def.name, def.component);
   // Mirror the definition into the world's schema registry (first definition
   // wins; all processes of a system type share tracepoint definitions).
   if (world_->schema()->Find(def.name) == nullptr) {
@@ -74,6 +82,7 @@ SimWorld::SimWorld() {
   frontend_ = std::make_unique<Frontend>(&bus_, &schema_);
   SimEnvironment* env = &env_;
   frontend_->set_now_micros([env] { return env->now_micros(); });
+  frontend_->set_propagation(&propagation_);
 }
 
 SimHost* SimWorld::AddHost(std::string name, double disk_bytes_per_sec,
@@ -83,9 +92,10 @@ SimHost* SimWorld::AddHost(std::string name, double disk_bytes_per_sec,
   return hosts_.back().get();
 }
 
-SimProcess* SimWorld::AddProcess(SimHost* host, std::string process_name) {
-  processes_.push_back(
-      std::make_unique<SimProcess>(this, host, std::move(process_name), next_pid_++));
+SimProcess* SimWorld::AddProcess(SimHost* host, std::string process_name,
+                                 std::string component) {
+  processes_.push_back(std::make_unique<SimProcess>(this, host, std::move(process_name),
+                                                    next_pid_++, std::move(component)));
   return processes_.back().get();
 }
 

@@ -19,6 +19,7 @@
 
 #include "src/agent/agent.h"
 #include "src/agent/frontend.h"
+#include "src/analysis/causality_graph.h"
 #include "src/bus/message_bus.h"
 #include "src/core/context.h"
 #include "src/core/tracepoint.h"
@@ -56,10 +57,15 @@ class SimHost {
 
 class SimProcess {
  public:
-  SimProcess(SimWorld* world, SimHost* host, std::string process_name, int64_t pid);
+  SimProcess(SimWorld* world, SimHost* host, std::string process_name, int64_t pid,
+             std::string component = "");
 
   SimHost* host() { return host_; }
   const std::string& name() const { return runtime_.info.process_name; }
+  // Propagation-graph node this process belongs to ("NN", "DN", "client", …);
+  // empty for processes outside the modelled topology. Used to tag observed
+  // boundary crossings (SimRpcCall) and declare instance-level edges.
+  const std::string& component() const { return component_; }
   TracepointRegistry* registry() { return &registry_; }
   PTAgent* agent() { return agent_.get(); }
   ProcessRuntime* runtime() { return &runtime_; }
@@ -79,6 +85,7 @@ class SimProcess {
  private:
   SimWorld* world_;
   SimHost* host_;
+  std::string component_;
   TracepointRegistry registry_;
   ProcessRuntime runtime_;
   std::unique_ptr<PTAgent> agent_;
@@ -98,8 +105,18 @@ class SimWorld {
   // in sync automatically.
   TracepointRegistry* schema() { return &schema_; }
 
+  // The propagation graph for this deployment: components, declared causal
+  // boundaries, observed crossings, tracepoint anchors. Deployments populate
+  // it at construction; the frontend's install gate and every agent's weave
+  // re-verification consult it (PT300-series reachability passes). Owned per
+  // world so unrelated tests never pollute each other's topology audit.
+  analysis::PropagationRegistry& propagation() { return propagation_; }
+  const analysis::PropagationRegistry& propagation() const { return propagation_; }
+
   SimHost* AddHost(std::string name, double disk_bytes_per_sec, double nic_bytes_per_sec);
-  SimProcess* AddProcess(SimHost* host, std::string process_name);
+  // `component` names the process's propagation-graph node; empty keeps the
+  // process outside the modelled topology (reachability checks skip it).
+  SimProcess* AddProcess(SimHost* host, std::string process_name, std::string component = "");
 
   SimHost* FindHost(std::string_view name);
   const std::vector<std::unique_ptr<SimHost>>& hosts() const { return hosts_; }
@@ -128,6 +145,7 @@ class SimWorld {
   SimEnvironment env_;
   MessageBus bus_;
   TracepointRegistry schema_;
+  analysis::PropagationRegistry propagation_;
   std::unique_ptr<Frontend> frontend_;
   std::vector<std::unique_ptr<SimHost>> hosts_;
   std::vector<std::unique_ptr<SimProcess>> processes_;

@@ -232,6 +232,29 @@ TEST(SimRpcTest, BaggageCrossesTheWire) {
   EXPECT_GT(RpcStats::total_baggage_bytes, 0u);
 }
 
+TEST(SimRpcTest, StatsResetClearsBothCounters) {
+  SimWorld world;
+  SimHost* a = world.AddHost("A", 200e6, 125e6);
+  SimHost* b = world.AddHost("B", 200e6, 125e6);
+  SimProcess* client = world.AddProcess(a, "client");
+  SimProcess* server = world.AddProcess(b, "server");
+
+  RpcStats::Reset();
+  CtxPtr ctx = world.NewRequest(client);
+  ctx->baggage().Pack(1, BagSpec::First(1), Tuple{{"k", Value("v")}});
+  SimRpcCall(
+      client, server, ctx, 100,
+      [](CtxPtr sctx, RpcRespond respond) { respond(std::move(sctx), 100); },
+      [](CtxPtr) {});
+  world.env()->RunAll();
+
+  EXPECT_GT(RpcStats::total_calls, 0u);
+  EXPECT_GT(RpcStats::total_baggage_bytes, 0u);
+  RpcStats::Reset();
+  EXPECT_EQ(RpcStats::total_calls, 0u);
+  EXPECT_EQ(RpcStats::total_baggage_bytes, 0u);
+}
+
 TEST(SimRpcTest, RpcConsumesNetworkTime) {
   SimWorld world;
   SimHost* a = world.AddHost("A", 200e6, 1000.0);  // Tiny 1000 B/s links.
