@@ -14,6 +14,7 @@
 
 #include <chrono>
 
+#include "bench/bench_util.h"
 #include "src/common/rand.h"
 #include "src/core/baggage.h"
 #include "src/core/tracepoint.h"
@@ -135,7 +136,37 @@ BENCHMARK(BM_UnpackAll)->Apply(TupleRange);
 BENCHMARK(BM_Serialize)->Apply(TupleRange);
 BENCHMARK(BM_Deserialize)->Apply(TupleRange);
 
+// Console reporter that also captures every run into a BenchJson, so
+// check.sh/CI get BENCH_fig10_baggage.json alongside the usual table.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (!run.error_occurred) {
+        json_->Report(run.benchmark_name(), run.GetAdjustedRealTime(),
+                      benchmark::GetTimeUnitString(run.time_unit));
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  BenchJson* json_;
+};
+
 }  // namespace
 }  // namespace pivot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  pivot::BenchJson json("fig10_baggage");
+  pivot::JsonCaptureReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.Write();
+  return 0;
+}

@@ -1,0 +1,228 @@
+// Hot-path micro-benchmarks for the interned-symbol / pre-resolved-plan /
+// copy-on-write-baggage overhaul (docs/PERFORMANCE.md):
+//
+//   1. Tuple field access: Get/Project/HashFields by SymbolId vs by string.
+//   2. Advice execution: compiled AdvicePlan::Execute vs the reference
+//      interpreter Advice::Execute on a representative observe/let/filter/
+//      pack/unpack/emit program.
+//   3. Baggage serialization: dirty (active instance mutated since the last
+//      serialize) vs clean (memoized encoding reused). check.sh gates the
+//      clean path at --min-serialize-speedup (default 10x): serializing an
+//      unchanged baggage — the response leg of every RPC — must be an order
+//      of magnitude cheaper than a re-encode.
+//
+// Hand-rolled timing (interleaved passes, best-of-N) like
+// bench_telemetry_overhead: no google-benchmark dependency, so the gate runs
+// identically everywhere check.sh does.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/advice.h"
+#include "src/core/baggage.h"
+#include "src/core/context.h"
+#include "src/core/plan.h"
+#include "src/core/tuple.h"
+
+namespace pivot {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Best-of-passes ns/op for `fn` run `iters` times per pass.
+double MeasureNs(const std::function<void()>& fn, int iters, int passes = 8) {
+  int64_t best = INT64_MAX;
+  for (int p = 0; p < passes; ++p) {
+    int64_t start = NowNanos();
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    int64_t elapsed = NowNanos() - start;
+    if (elapsed < best) {
+      best = elapsed;
+    }
+  }
+  return static_cast<double>(best) / iters;
+}
+
+// Keeps results observable so the optimizer cannot delete the measured work.
+uint64_t g_sink = 0;
+inline void Keep(uint64_t v) { asm volatile("" : : "g"(v) : "memory"); }
+
+class NullSink : public EmitSink {
+ public:
+  void EmitTuple(uint64_t, const Tuple& t) override { g_sink += t.size(); }
+};
+
+Tuple MakeWideTuple(int fields) {
+  Tuple t;
+  for (int i = 0; i < fields; ++i) {
+    t.Append("col" + std::to_string(i), Value(static_cast<int64_t>(i)));
+  }
+  return t;
+}
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  using namespace pivot;
+
+  double min_serialize_speedup = 0.0;  // 0 = report only, no gate.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--min-serialize-speedup=", 24) == 0) {
+      min_serialize_speedup = std::atof(argv[i] + 24);
+    }
+  }
+
+  BenchJson json("hotpath");
+  printf("Hot-path micro-benchmarks (interned symbols / advice plans / COW baggage)\n\n");
+
+  // ---- 1. Tuple field access ----
+  {
+    constexpr int kIters = 200'000;
+    Tuple t = MakeWideTuple(16);
+    SymbolId id8 = InternSymbol("col8");
+    std::vector<SymbolId> proj_ids = InternSymbols({"col2", "col5", "col11"});
+    std::vector<std::string> proj_names = {"col2", "col5", "col11"};
+
+    double get_id = MeasureNs([&] { Keep(t.Get(id8).Hash()); }, kIters);
+    double get_str = MeasureNs([&] { Keep(t.Get("col8").Hash()); }, kIters);
+    double proj_id = MeasureNs([&] { Keep(t.Project(proj_ids).size()); }, kIters);
+    double proj_str = MeasureNs([&] { Keep(t.Project(proj_names).size()); }, kIters);
+    double hash_id = MeasureNs([&] { Keep(t.HashFields(proj_ids)); }, kIters);
+    double hash_str = MeasureNs([&] { Keep(t.HashFields(proj_names)); }, kIters);
+
+    printf("Tuple (16 fields):\n");
+    printf("  Get         by id %7.1f ns   by string %7.1f ns\n", get_id, get_str);
+    printf("  Project x3  by id %7.1f ns   by string %7.1f ns\n", proj_id, proj_str);
+    printf("  HashFields  by id %7.1f ns   by string %7.1f ns\n", hash_id, hash_str);
+    json.Report("tuple_get_by_id", get_id, "ns");
+    json.Report("tuple_get_by_string", get_str, "ns");
+    json.Report("tuple_project_by_id", proj_id, "ns");
+    json.Report("tuple_project_by_string", proj_str, "ns");
+    json.Report("tuple_hashfields_by_id", hash_id, "ns");
+    json.Report("tuple_hashfields_by_string", hash_str, "ns");
+  }
+
+  // ---- 2. Compiled plan vs reference interpreter ----
+  {
+    constexpr int kIters = 20'000;
+    constexpr BagKey kBag = 42;
+
+    // A representative program: observe two exports, compute a Let, filter,
+    // unpack an earlier stage's bag and join, then pack + emit projections.
+    Advice::Ptr advice =
+        AdviceBuilder()
+            .Observe({{"delta", "incr.delta"}, {"host", "incr.host"}})
+            .Let("dbl", Expr::Binary(ExprOp::kAdd, Expr::Field("incr.delta"),
+                                     Expr::Field("incr.delta")))
+            .Filter(Expr::Binary(ExprOp::kGe, Expr::Field("incr.delta"),
+                                 Expr::Literal(Value(int64_t{0}))))
+            .Unpack(kBag)
+            .Emit(7, {"incr.host", "dbl", "cl.procName"})
+            .Build();
+    AdvicePlan::Ptr plan = AdvicePlan::Compile(advice);
+
+    NullSink sink;
+    ProcessRuntime runtime;
+    runtime.info = {"host", "bench", 1};
+    runtime.sink = &sink;
+    ExecutionContext ctx(&runtime);
+    // One joined-in tuple, as if packed by an earlier stage over an RPC.
+    ctx.baggage().Pack(kBag, BagSpec::First(1),
+                       Tuple{{"cl.procName", Value(std::string("client"))}});
+    Tuple exports{{"delta", Value(int64_t{4096})},
+                  {"host", Value(std::string("dn01"))}};
+
+    double interp = MeasureNs([&] { advice->Execute(&ctx, exports); }, kIters);
+    double planned = MeasureNs([&] { plan->Execute(&ctx, exports); }, kIters);
+    printf("\nAdvice execution (observe+let+filter+unpack+emit):\n");
+    printf("  reference interpreter %8.1f ns/op\n", interp);
+    printf("  compiled plan         %8.1f ns/op   (%.2fx)\n", planned,
+           interp / planned);
+    json.Report("advice_interpreter", interp, "ns");
+    json.Report("advice_plan", planned, "ns");
+    json.Report("advice_plan_speedup", interp / planned, "x");
+  }
+
+  // ---- 3. Serialize: dirty vs clean (memoized encodings) ----
+  double serialize_speedup = 0.0;
+  {
+    constexpr int kIters = 2'000;
+    constexpr BagKey kBag = 900;
+
+    // 32 tuples frozen in an inactive instance (as after a Split) plus 32 in
+    // the active instance — the shape of baggage mid-request after one branch.
+    Baggage baggage;
+    for (int i = 0; i < 32; ++i) {
+      baggage.Pack(kBag, BagSpec::All(),
+                   Tuple{{"v" + std::to_string(i), Value(static_cast<int64_t>(i))}});
+    }
+    auto [left, right] = baggage.Split();
+    Baggage bag = std::move(left);
+    for (int i = 0; i < 32; ++i) {
+      bag.Pack(kBag + 1, BagSpec::All(),
+               Tuple{{"w" + std::to_string(i), Value(static_cast<int64_t>(i))}});
+    }
+    Tuple dirt{{"dirt", Value(int64_t{1})}};
+
+    // Dirty: every iteration invalidates the active instance's cached
+    // encoding (kRecentN keeps the size constant), so Serialize re-encodes
+    // the active instance; the frozen inactive instance stays memoized. The
+    // Pack that dirties the cache runs outside the timed window.
+    double dirty;
+    {
+      int64_t best = INT64_MAX;
+      for (int p = 0; p < 8; ++p) {
+        int64_t total = 0;
+        for (int i = 0; i < kIters; ++i) {
+          bag.Pack(kBag + 2, BagSpec::Recent(1), dirt);
+          int64_t t0 = NowNanos();
+          g_sink += bag.Serialize().size();
+          total += NowNanos() - t0;
+        }
+        if (total < best) {
+          best = total;
+        }
+      }
+      dirty = static_cast<double>(best) / kIters;
+    }
+
+    // Clean: nothing changed since the last Serialize — every instance's
+    // encoding (active included) is served from cache.
+    g_sink += bag.Serialize().size();  // Warm the cache.
+    double clean = MeasureNs([&] { g_sink += bag.Serialize().size(); }, kIters);
+
+    serialize_speedup = dirty / clean;
+    printf("\nBaggage::Serialize (64 tuples, 1 frozen + 1 active instance):\n");
+    printf("  dirty (active re-encoded) %8.1f ns\n", dirty);
+    printf("  clean (fully memoized)    %8.1f ns   (%.1fx)\n", clean, serialize_speedup);
+    json.Report("serialize_dirty", dirty, "ns");
+    json.Report("serialize_clean", clean, "ns");
+    json.Report("serialize_clean_speedup", serialize_speedup, "x");
+  }
+
+  json.Write();
+
+  if (min_serialize_speedup > 0.0 && serialize_speedup < min_serialize_speedup) {
+    printf("\nFAIL: clean serialize only %.1fx faster than dirty (need >= %.1fx)\n",
+           serialize_speedup, min_serialize_speedup);
+    return 1;
+  }
+  if (min_serialize_speedup > 0.0) {
+    printf("\nPASS: clean serialize %.1fx faster than dirty (>= %.1fx required)\n",
+           serialize_speedup, min_serialize_speedup);
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/agent/agent.h"
 #include "src/agent/frontend.h"
 #include "src/bus/message_bus.h"
@@ -268,6 +269,8 @@ int main() {
   }
   printf("\n");
 
+  BenchJson json("table5_overhead");
+
   // Every cell measures baseline and instrumented loops in interleaved short
   // passes (best-of-N each), so CPU frequency / thermal drift cancels.
   auto run_variant = [&](const Variant& v) {
@@ -277,6 +280,7 @@ int main() {
       auto [base, ns] = MeasureInterleaved([&] { MiniHdfs::RunOpUnmodified(op); },
                                            [&] { hdfs.RunOp(op, v.baggage); }, iters, 12);
       double overhead = (ns - base) / base * 100.0;
+      json.Report(v.name + "/" + op, overhead, "pct_overhead");
       printf("%11.1f%%", overhead);
     }
     printf("\n");

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/core/tracepoint.h"
 
 namespace pivot {
@@ -141,6 +142,14 @@ int main(int argc, char** argv) {
   printf("\nfire counter: %llu (expected %llu across both cases)\n",
          static_cast<unsigned long long>(real_tp->fires()),
          static_cast<unsigned long long>(expected));
+
+  BenchJson json("telemetry_overhead");
+  json.Report("invoke_1field_seed", seed_ns, "ns");
+  json.Report("invoke_1field_instrumented", real_ns, "ns");
+  json.Report("invoke_1field_overhead", overhead, "pct");
+  json.Report("invoke_empty_overhead", (real_empty - seed_empty) / seed_empty * 100.0,
+              "pct");
+  json.Write();
 
   if (overhead > max_overhead_pct) {
     printf("\nFAIL: %.1f%% > %.1f%% allowed on the realistic-exports fast path\n", overhead,

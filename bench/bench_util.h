@@ -14,6 +14,81 @@
 
 namespace pivot {
 
+// Machine-readable bench results. Each bench binary collects
+// (metric, value, unit) entries and writes them as
+// "$PIVOT_BENCH_JSON_DIR/BENCH_<name>.json" so CI can archive and diff runs.
+// The git sha is taken from $PIVOT_GIT_SHA (check.sh exports it); absent env
+// vars degrade gracefully (no file / "unknown" sha) so local runs stay quiet.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { Write(); }
+
+  void Report(const std::string& metric, double value, const std::string& unit) {
+    entries_.push_back(Entry{metric, value, unit});
+  }
+
+  // Writes the collected entries; idempotent (second call is a no-op).
+  // Returns true if a file was written.
+  bool Write() {
+    if (written_) {
+      return false;
+    }
+    written_ = true;
+    const char* dir = std::getenv("PIVOT_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') {
+      return false;
+    }
+    std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "could not write %s\n", path.c_str());
+      return false;
+    }
+    const char* sha = std::getenv("PIVOT_GIT_SHA");
+    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n  \"metrics\": [\n",
+            Escaped(name_).c_str(), Escaped(sha != nullptr ? sha : "unknown").c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      fprintf(f, "    {\"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
+              Escaped(entries_[i].metric).c_str(), entries_[i].value,
+              Escaped(entries_[i].unit).c_str(), i + 1 == entries_.size() ? "" : ",");
+    }
+    fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    printf("(wrote %s)\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Entry> entries_;
+  bool written_ = false;
+};
+
 // When the PIVOT_CSV_DIR environment variable is set, writes `rows` (with a
 // leading `header` row) to "$PIVOT_CSV_DIR/<name>.csv" for external plotting;
 // otherwise does nothing. Returns true if a file was written.

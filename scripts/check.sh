@@ -22,6 +22,13 @@ case "${1:-}" in
     ;;
 esac
 max_overhead=${MAX_OVERHEAD_PCT:-10}
+min_serialize_speedup=${MIN_SERIALIZE_SPEEDUP:-10}
+
+# Machine-readable bench results: every bench writes BENCH_<name>.json here
+# (bench/bench_util.h BenchJson); CI uploads the directory as an artifact.
+export PIVOT_BENCH_JSON_DIR=${PIVOT_BENCH_JSON_DIR:-"$repo_root/bench-results"}
+mkdir -p "$PIVOT_BENCH_JSON_DIR"
+export PIVOT_GIT_SHA=${PIVOT_GIT_SHA:-$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)}
 
 case "$sanitize" in
   "")
@@ -65,4 +72,8 @@ echo "=== install-time analysis gate (<= ${max_lint_micros} us/query) ==="
   --max-lint-micros="$max_lint_micros"
 
 echo
-echo "All checks passed."
+echo "=== serialize memoization gate (clean >= ${min_serialize_speedup}x faster than dirty) ==="
+"$build_dir/bench/bench_hotpath" --min-serialize-speedup="$min_serialize_speedup"
+
+echo
+echo "All checks passed. Bench results: $PIVOT_BENCH_JSON_DIR/BENCH_*.json"

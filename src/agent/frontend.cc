@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/core/symbol.h"
 #include "src/query/parser.h"
 #include "src/telemetry/metrics.h"
 
@@ -510,7 +511,8 @@ std::string Frontend::StatusReport() const {
   std::ostringstream os;
   os << "=== Pivot Tracing status ===\n";
   os << "queries: " << statuses.size() << "  reports: " << reports_received()
-     << "  tuples: " << tuples_received() << "\n";
+     << "  tuples: " << tuples_received()
+     << "  symbols: " << SymbolTable::Global().size() << "\n";
   for (const auto& s : statuses) {
     os << "\nquery " << s.query_id << " [" << (s.active ? "active" : "uninstalled") << ", "
        << (s.aggregated ? "aggregated" : "streaming") << "]\n";
@@ -592,7 +594,8 @@ std::string Frontend::StatusReportJson() const {
        << ",\"delivered\":" << t.delivered << ",\"bytes\":" << t.bytes
        << ",\"no_subscriber\":" << t.no_subscriber << ",\"subscribers\":" << t.subscribers << "}";
   }
-  os << "],\"telemetry\":" << telemetry::Metrics().RenderJson() << "}";
+  os << "],\"symbols\":" << SymbolTable::Global().size()
+     << ",\"telemetry\":" << telemetry::Metrics().RenderJson() << "}";
   return os.str();
 }
 

@@ -219,6 +219,20 @@ StaticType InferExprType(const Expr& e, const std::map<std::string, StaticType>&
   return InferType(e, c);
 }
 
+VerifyResult AdviceVerifier::Verify(const AdvicePlan& plan) const {
+  // A plan is a lowered view of its source advice: every SymbolId it holds
+  // was interned from the source's names, so verifying the source verifies
+  // the plan. (Compile never drops or reorders ops.)
+  if (plan.source() == nullptr) {
+    VerifyResult result;
+    result.report.Add("PT101", Severity::kError,
+                      ctx_.tracepoint != nullptr ? ctx_.tracepoint->name : "", -1,
+                      "plan has no source advice");
+    return result;
+  }
+  return Verify(*plan.source());
+}
+
 VerifyResult AdviceVerifier::Verify(const Advice& advice) const {
   VerifyResult result;
   Report& report = result.report;

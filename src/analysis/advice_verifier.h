@@ -24,6 +24,7 @@
 #include "src/analysis/diagnostics.h"
 #include "src/core/advice.h"
 #include "src/core/baggage.h"
+#include "src/core/plan.h"
 #include "src/core/tracepoint.h"
 
 namespace pivot {
@@ -106,6 +107,11 @@ class AdviceVerifier {
   // diagnostics, and the abstract state degrades to kUnknown so later ops are
   // still checked.
   VerifyResult Verify(const Advice& advice) const;
+
+  // Verifies a pre-resolved plan by analyzing the advice it was compiled
+  // from. Plans carry their source program precisely so static analysis can
+  // run on already-woven state (e.g. re-verifying what an agent has live).
+  VerifyResult Verify(const AdvicePlan& plan) const;
 
  private:
   VerifyContext ctx_;

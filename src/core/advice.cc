@@ -7,6 +7,12 @@ namespace pivot {
 
 namespace {
 
+std::atomic<uint64_t> g_truncations{0};
+
+}  // namespace
+
+namespace advice_internal {
+
 // Sampling decision: a global counter hashed through splitmix64 gives a
 // reproducible (single-threaded) yet well-distributed accept/reject sequence
 // without per-advice mutable state.
@@ -25,8 +31,12 @@ bool SampleAccept(double rate) {
   return static_cast<double>(z >> 11) * 0x1.0p-53 < rate;
 }
 
-std::atomic<uint64_t> g_truncations{0};
+void CountTruncation() { g_truncations.fetch_add(1, std::memory_order_relaxed); }
 
+}  // namespace advice_internal
+
+namespace {
+using advice_internal::SampleAccept;
 }  // namespace
 
 uint64_t Advice::truncation_count() { return g_truncations.load(std::memory_order_relaxed); }

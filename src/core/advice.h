@@ -100,6 +100,17 @@ class Advice {
   std::vector<Op> ops_;
 };
 
+namespace advice_internal {
+
+// Shared between the reference interpreter (Advice::Execute) and the compiled
+// executor (AdvicePlan::Execute, src/core/plan.cc) so both draw from the same
+// deterministic sampling sequence and truncation counter — a requirement for
+// the fuzz equivalence suite that runs the same program down both paths.
+bool SampleAccept(double rate);
+void CountTruncation();
+
+}  // namespace advice_internal
+
 // Fluent construction of advice programs; used by the query compiler and by
 // tests/examples building advice by hand.
 class AdviceBuilder {

@@ -28,15 +28,26 @@ std::vector<std::string> AggSpec::StateColumns() const {
 }
 
 Aggregator::Aggregator(std::vector<std::string> group_fields, std::vector<AggSpec> specs)
-    : group_fields_(std::move(group_fields)), specs_(std::move(specs)) {}
+    : group_fields_(std::move(group_fields)), specs_(std::move(specs)) {
+  group_ids_ = InternSymbols(group_fields_);
+  spec_ids_.reserve(specs_.size());
+  for (const AggSpec& spec : specs_) {
+    SpecIds ids;
+    ids.input = InternSymbol(spec.input);
+    ids.input_n = InternSymbol(spec.input + "#n");
+    ids.output = InternSymbol(spec.output);
+    ids.output_n = InternSymbol(spec.output + "#n");
+    spec_ids_.push_back(ids);
+  }
+}
 
 namespace {
 
 // Canonical string form of the group key: type-tagged so that e.g. int 1 and
 // string "1" land in different groups.
-std::string CanonicalKey(const Tuple& t, const std::vector<std::string>& fields) {
+std::string CanonicalKey(const Tuple& t, const std::vector<SymbolId>& fields) {
   std::string key;
-  for (const auto& f : fields) {
+  for (SymbolId f : fields) {
     Value v = t.Get(f);
     key += static_cast<char>('0' + static_cast<int>(v.type()));
     key += v.ToString();
@@ -48,13 +59,13 @@ std::string CanonicalKey(const Tuple& t, const std::vector<std::string>& fields)
 }  // namespace
 
 Aggregator::Group& Aggregator::GroupFor(const Tuple& t) {
-  std::string key = CanonicalKey(t, group_fields_);
+  std::string key = CanonicalKey(t, group_ids_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     return groups_[it->second];
   }
   Group g;
-  g.key_tuple = t.Project(group_fields_);
+  g.key_tuple = t.Project(group_ids_);
   g.accums.resize(specs_.size());
   index_[std::move(key)] = groups_.size();
   groups_.push_back(std::move(g));
@@ -101,10 +112,11 @@ void Aggregator::AddInput(const Tuple& t) {
   Group& g = GroupFor(t);
   for (size_t i = 0; i < specs_.size(); ++i) {
     const AggSpec& spec = specs_[i];
+    const SpecIds& ids = spec_ids_[i];
     Accum& a = g.accums[i];
     if (spec.from_state) {
-      Value n = t.Get(spec.input + "#n");
-      CombineInto(AccumRef{a.has_value, a.value, a.count}, spec.fn, t.Get(spec.input),
+      Value n = t.Get(ids.input_n);
+      CombineInto(AccumRef{a.has_value, a.value, a.count}, spec.fn, t.Get(ids.input),
                   n.is_null() ? 0 : n.int_value());
       continue;
     }
@@ -114,7 +126,7 @@ void Aggregator::AddInput(const Tuple& t) {
         a.has_value = true;
         break;
       case AggFn::kSum: {
-        Value v = t.Get(spec.input);
+        Value v = t.Get(ids.input);
         if (v.is_null()) {
           break;  // Nulls do not contribute to sums.
         }
@@ -123,7 +135,7 @@ void Aggregator::AddInput(const Tuple& t) {
         break;
       }
       case AggFn::kMin: {
-        Value v = t.Get(spec.input);
+        Value v = t.Get(ids.input);
         if (v.is_null()) {
           break;
         }
@@ -134,7 +146,7 @@ void Aggregator::AddInput(const Tuple& t) {
         break;
       }
       case AggFn::kMax: {
-        Value v = t.Get(spec.input);
+        Value v = t.Get(ids.input);
         if (v.is_null()) {
           break;
         }
@@ -145,7 +157,7 @@ void Aggregator::AddInput(const Tuple& t) {
         break;
       }
       case AggFn::kAverage: {
-        Value v = t.Get(spec.input);
+        Value v = t.Get(ids.input);
         if (v.is_null()) {
           break;
         }
@@ -162,9 +174,10 @@ void Aggregator::AddState(const Tuple& t) {
   Group& g = GroupFor(t);
   for (size_t i = 0; i < specs_.size(); ++i) {
     const AggSpec& spec = specs_[i];
+    const SpecIds& ids = spec_ids_[i];
     Accum& a = g.accums[i];
-    Value n = t.Get(spec.output + "#n");
-    CombineInto(AccumRef{a.has_value, a.value, a.count}, spec.fn, t.Get(spec.output),
+    Value n = t.Get(ids.output_n);
+    CombineInto(AccumRef{a.has_value, a.value, a.count}, spec.fn, t.Get(ids.output),
                 n.is_null() ? 0 : n.int_value());
   }
 }
@@ -176,10 +189,11 @@ std::vector<Tuple> Aggregator::StateTuples() const {
     Tuple t = g.key_tuple;
     for (size_t i = 0; i < specs_.size(); ++i) {
       const AggSpec& spec = specs_[i];
+      const SpecIds& ids = spec_ids_[i];
       const Accum& a = g.accums[i];
-      t.Append(spec.output, a.has_value ? a.value : Value());
+      t.Append(ids.output, a.has_value ? a.value : Value());
       if (spec.fn == AggFn::kAverage) {
-        t.Append(spec.output + "#n", Value(a.count));
+        t.Append(ids.output_n, Value(a.count));
       }
     }
     out.push_back(std::move(t));

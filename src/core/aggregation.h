@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/symbol.h"
 #include "src/core/tuple.h"
 #include "src/core/value.h"
 
@@ -107,8 +108,20 @@ class Aggregator {
 
   Group& GroupFor(const Tuple& t);
 
+  // Column references resolved once at construction so the per-tuple
+  // accumulate path (pack-side pre-aggregation fires on every tracepoint
+  // invocation) reads tuples by SymbolId, not by string.
+  struct SpecIds {
+    SymbolId input = kInvalidSymbol;     // spec.input
+    SymbolId input_n = kInvalidSymbol;   // spec.input + "#n" (from_state Average)
+    SymbolId output = kInvalidSymbol;    // spec.output
+    SymbolId output_n = kInvalidSymbol;  // spec.output + "#n" (Average state)
+  };
+
   std::vector<std::string> group_fields_;
+  std::vector<SymbolId> group_ids_;
   std::vector<AggSpec> specs_;
+  std::vector<SpecIds> spec_ids_;
   std::vector<Group> groups_;
   std::map<std::string, size_t> index_;  // Canonical group key -> groups_ index.
 };

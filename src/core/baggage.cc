@@ -37,6 +37,16 @@ telemetry::Counter& DeserializeErrorCounter() {
       telemetry::Metrics().GetCounter("baggage.deserialize.errors");
   return c;
 }
+telemetry::Counter& SerializeCacheHitCounter() {
+  static telemetry::Counter& c =
+      telemetry::Metrics().GetCounter("baggage.serialize_cache_hit");
+  return c;
+}
+telemetry::Counter& SerializeCacheMissCounter() {
+  static telemetry::Counter& c =
+      telemetry::Metrics().GetCounter("baggage.serialize_cache_miss");
+  return c;
+}
 telemetry::Histogram& SerializeBytesHistogram() {
   static telemetry::Histogram& h =
       telemetry::Metrics().GetHistogram("baggage.serialize.bytes");
@@ -162,6 +172,7 @@ bool Baggage::Instance::has_tuples() const {
 
 void Baggage::Pack(BagKey key, const BagSpec& spec, const Tuple& t) {
   PackCounter().Increment();
+  active_cache_valid_ = false;  // The only mutation of the active instance.
   auto it = active_bags_.find(key);
   if (it == active_bags_.end()) {
     it = active_bags_.emplace(key, TupleBag(spec)).first;
@@ -176,8 +187,8 @@ std::vector<Tuple> Baggage::Unpack(BagKey key) const {
   const TupleBag* first = nullptr;
   std::vector<const TupleBag*> rest;
   for (const auto& inst : inactive_) {
-    auto it = inst.bags.find(key);
-    if (it != inst.bags.end()) {
+    auto it = inst->bags.find(key);
+    if (it != inst->bags.end()) {
       if (first == nullptr) {
         first = &it->second;
       } else {
@@ -206,21 +217,39 @@ std::vector<Tuple> Baggage::Unpack(BagKey key) const {
   return combined.Contents();
 }
 
+Baggage::InstancePtr Baggage::FreezeActive() const {
+  auto frozen = std::make_shared<Instance>();
+  frozen->id = active_id_;
+  frozen->gen = active_gen_;
+  frozen->bags = active_bags_;
+  if (active_cache_valid_) {
+    // The frozen snapshot inherits the memoized encoding; it stays valid
+    // forever because the instance is immutable from here on.
+    frozen->cache = active_cache_;
+    frozen->encoded.store(true, std::memory_order_release);
+  }
+  return frozen;
+}
+
 std::pair<Baggage, Baggage> Baggage::Split() const {
   SplitCounter().Increment();
   auto [id1, id2] = active_id_.Split();
 
-  // Each side receives a copy of the current contents as an inactive
-  // instance and a fresh empty active instance with its half of the ID.
+  // Each side retains the current contents as an inactive instance and gets a
+  // fresh empty active instance with its half of the ID. The snapshot is
+  // frozen once and shared — neither side deep-copies retained tuples, and
+  // the existing inactive list is shared by pointer.
+  InstancePtr frozen = FreezeActive();
+
   Baggage side1;
   side1.inactive_ = inactive_;
-  side1.inactive_.push_back(Instance{active_id_, active_gen_, active_bags_});
+  side1.inactive_.push_back(frozen);
   side1.active_id_ = id1;
   side1.active_gen_ = active_gen_ + 1;
 
   Baggage side2;
   side2.inactive_ = inactive_;
-  side2.inactive_.push_back(Instance{active_id_, active_gen_, active_bags_});
+  side2.inactive_.push_back(std::move(frozen));
   side2.active_id_ = id2;
   side2.active_gen_ = active_gen_ + 1;
 
@@ -246,12 +275,14 @@ Baggage Baggage::Join(const Baggage& a, const Baggage& b) {
 
   // Union of inactive instances, deduplicated by identity ("the inactive
   // instances from each branch are copied, and duplicates are discarded",
-  // §5). Identity is (id, gen) — see the Instance comment.
+  // §5). Identity is (id, gen) — see the Instance comment. Instances shared
+  // by both branches (the common case after a split) dedupe on pointer
+  // equality before the id comparison.
   out.inactive_ = a.inactive_;
   for (const auto& inst : b.inactive_) {
     bool duplicate = false;
     for (const auto& existing : out.inactive_) {
-      if (existing.gen == inst.gen && existing.id == inst.id) {
+      if (existing == inst || (existing->gen == inst->gen && existing->id == inst->id)) {
         duplicate = true;
         break;
       }
@@ -269,7 +300,7 @@ uint64_t Baggage::DroppedTupleCount() const {
     n += bag.dropped();
   }
   for (const auto& inst : inactive_) {
-    for (const auto& [key, bag] : inst.bags) {
+    for (const auto& [key, bag] : inst->bags) {
       n += bag.dropped();
     }
   }
@@ -282,7 +313,7 @@ size_t Baggage::TupleCount() const {
     n += bag.size();
   }
   for (const auto& inst : inactive_) {
-    for (const auto& [key, bag] : inst.bags) {
+    for (const auto& [key, bag] : inst->bags) {
       n += bag.size();
     }
   }
@@ -306,6 +337,8 @@ void Baggage::Clear() {
   active_gen_ = 0;
   active_bags_.clear();
   inactive_.clear();
+  active_cache_ = InstanceCache{};
+  active_cache_valid_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -389,7 +422,7 @@ bool GetBagSpec(const uint8_t* data, size_t size, size_t* pos, BagSpec* spec) {
 namespace {
 
 void PutBags(std::vector<uint8_t>* out, const std::map<BagKey, TupleBag>& bags,
-             Baggage::SerializeStats* stats) {
+             std::map<uint64_t, Baggage::SerializeStats::QueryShare>* shares) {
   PutVarint64(out, bags.size());
   for (const auto& [key, bag] : bags) {
     size_t bag_start = out->size();
@@ -401,8 +434,8 @@ void PutBags(std::vector<uint8_t>* out, const std::map<BagKey, TupleBag>& bags,
       PutTuple(out, t);
     }
     PutVarint64(out, bag.dropped());
-    if (stats != nullptr) {
-      auto& share = stats->queries[BagKeyQuery(key)];
+    if (shares != nullptr) {
+      auto& share = (*shares)[BagKeyQuery(key)];
       share.bytes += out->size() - bag_start;
       share.tuples += bag.size();
     }
@@ -450,6 +483,29 @@ bool GetBags(const uint8_t* data, size_t size, size_t* pos, std::map<BagKey, Tup
 
 }  // namespace
 
+// Encodes the `[gen][id][bags...]` segment of one instance into `cache`,
+// computing per-query attribution as a side effect (the cost is one map walk
+// already being paid; caching it lets the stats overload hit too).
+void Baggage::EncodeInstance(uint64_t gen, const ItcId& id,
+                             const std::map<BagKey, TupleBag>& bags, InstanceCache* cache) {
+  cache->bytes.clear();
+  cache->shares.clear();
+  PutVarint64(&cache->bytes, gen);
+  id.Encode(&cache->bytes);
+  PutBags(&cache->bytes, bags, &cache->shares);
+  cache->has_shares = true;
+}
+
+void Baggage::Instance::EnsureEncoded() const {
+  std::call_once(encode_once, [this] {
+    if (encoded.load(std::memory_order_relaxed)) {
+      return;  // Seeded from the wire at decode time (or at FreezeActive).
+    }
+    EncodeInstance(gen, id, bags, &cache);
+    encoded.store(true, std::memory_order_release);
+  });
+}
+
 std::vector<uint8_t> Baggage::Serialize(SerializeStats* stats) const {
   SerializeCounter().Increment();
   if (IsTrivial()) {
@@ -460,15 +516,65 @@ std::vector<uint8_t> Baggage::Serialize(SerializeStats* stats) const {
     }
     return {};
   }
-  std::vector<uint8_t> out;
-  PutVarint64(&out, 1 + inactive_.size());
-  PutVarint64(&out, active_gen_);
-  active_id_.Encode(&out);
-  PutBags(&out, active_bags_, stats);
+  const bool want_shares = stats != nullptr;
+  if (stats != nullptr) {
+    *stats = SerializeStats{};
+  }
+
+  // Active instance: re-encode only if dirty (Pack since the last encode) or
+  // if the caller wants attribution a wire-seeded cache cannot provide.
+  if (!active_cache_valid_ || (want_shares && !active_cache_.has_shares)) {
+    EncodeInstance(active_gen_, active_id_, active_bags_, &active_cache_);
+    active_cache_valid_ = true;
+    SerializeCacheMissCounter().Increment();
+  } else {
+    SerializeCacheHitCounter().Increment();
+  }
+
+  size_t total = 0;
   for (const auto& inst : inactive_) {
-    PutVarint64(&out, inst.gen);
-    inst.id.Encode(&out);
-    PutBags(&out, inst.bags, stats);
+    if (inst->encoded.load(std::memory_order_acquire)) {
+      SerializeCacheHitCounter().Increment();
+    } else {
+      SerializeCacheMissCounter().Increment();
+    }
+    inst->EnsureEncoded();
+    total += inst->cache.bytes.size();
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(10 + active_cache_.bytes.size() + total);
+  PutVarint64(&out, 1 + inactive_.size());
+  out.insert(out.end(), active_cache_.bytes.begin(), active_cache_.bytes.end());
+  if (want_shares) {
+    for (const auto& [q, share] : active_cache_.shares) {
+      auto& dst = stats->queries[q];
+      dst.bytes += share.bytes;
+      dst.tuples += share.tuples;
+    }
+  }
+  for (const auto& inst : inactive_) {
+    out.insert(out.end(), inst->cache.bytes.begin(), inst->cache.bytes.end());
+    if (want_shares) {
+      if (inst->cache.has_shares) {
+        for (const auto& [q, share] : inst->cache.shares) {
+          auto& dst = stats->queries[q];
+          dst.bytes += share.bytes;
+          dst.tuples += share.tuples;
+        }
+      } else {
+        // Wire-seeded cache: attribution needs a throwaway re-encode. The
+        // frozen instance itself is never mutated (it may be shared across
+        // threads), so the upgrade is not persisted.
+        InstanceCache tmp;
+        EncodeInstance(inst->gen, inst->id, inst->bags, &tmp);
+        for (const auto& [q, share] : tmp.shares) {
+          auto& dst = stats->queries[q];
+          dst.bytes += share.bytes;
+          dst.tuples += share.tuples;
+        }
+      }
+    }
   }
   SerializeBytesHistogram().Observe(out.size());
   SerializeTuplesHistogram().Observe(TupleCount());
@@ -492,19 +598,33 @@ Result<Baggage> Baggage::Deserialize(const uint8_t* data, size_t size) {
     DeserializeErrorCounter().Increment();
     return DataLossError("baggage: bad instance count");
   }
+  // Each instance's cache is seeded with the wire slice it was decoded from,
+  // so re-serializing an unmodified baggage — the response leg of an RPC hop —
+  // copies cached bytes instead of re-encoding every bag. Our encoder is
+  // canonical (ordered maps, minimal varints), so for bytes we produced the
+  // slice equals what a re-encode would emit.
+  size_t active_start = pos;
   if (!GetVarint64(data, size, &pos, &out.active_gen_) ||
       !ItcId::Decode(data, size, &pos, &out.active_id_) ||
       !GetBags(data, size, &pos, &out.active_bags_)) {
     DeserializeErrorCounter().Increment();
     return DataLossError("baggage: bad active instance");
   }
+  out.active_cache_.bytes.assign(data + active_start, data + pos);
+  out.active_cache_.has_shares = false;
+  out.active_cache_valid_ = true;
   for (uint64_t i = 1; i < ninst; ++i) {
-    Instance inst;
-    if (!GetVarint64(data, size, &pos, &inst.gen) || !ItcId::Decode(data, size, &pos, &inst.id) ||
-        !GetBags(data, size, &pos, &inst.bags)) {
+    auto inst = std::make_shared<Instance>();
+    size_t inst_start = pos;
+    if (!GetVarint64(data, size, &pos, &inst->gen) ||
+        !ItcId::Decode(data, size, &pos, &inst->id) ||
+        !GetBags(data, size, &pos, &inst->bags)) {
       DeserializeErrorCounter().Increment();
       return DataLossError("baggage: bad inactive instance");
     }
+    inst->cache.bytes.assign(data + inst_start, data + pos);
+    inst->cache.has_shares = false;
+    inst->encoded.store(true, std::memory_order_release);
     out.inactive_.push_back(std::move(inst));
   }
   if (pos != size) {

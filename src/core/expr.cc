@@ -38,7 +38,7 @@ Value Expr::Eval(const Tuple& t) const {
     case ExprOp::kLiteral:
       return literal_;
     case ExprOp::kField:
-      return t.Get(field_);
+      return t.Get(BoundFieldId());
     case ExprOp::kAdd:
       return ValueAdd(lhs_->Eval(t), rhs_->Eval(t));
     case ExprOp::kSub:
@@ -78,6 +78,19 @@ Value Expr::Eval(const Tuple& t) const {
       return ValueSub(Value(int64_t{0}), lhs_->Eval(t));
   }
   return Value();
+}
+
+void Expr::Bind() const {
+  if (op_ == ExprOp::kField) {
+    (void)BoundFieldId();
+    return;
+  }
+  if (lhs_ != nullptr) {
+    lhs_->Bind();
+  }
+  if (rhs_ != nullptr) {
+    rhs_->Bind();
+  }
 }
 
 void Expr::CollectFields(std::vector<std::string>* out) const {

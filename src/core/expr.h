@@ -8,10 +8,12 @@
 #ifndef PIVOT_SRC_CORE_EXPR_H_
 #define PIVOT_SRC_CORE_EXPR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/core/symbol.h"
 #include "src/core/tuple.h"
 #include "src/core/value.h"
 
@@ -58,6 +60,12 @@ class Expr {
   // int64 0/1, arithmetic type errors yield null.
   Value Eval(const Tuple& t) const;
 
+  // Resolves every kField reference in the tree to a SymbolId through the
+  // global interner, so Eval compares integers instead of strings. Plan
+  // compilation calls this once at weave time; Eval also binds lazily on
+  // first use, so an unbound tree is merely slower, never wrong.
+  void Bind() const;
+
   // All field names referenced anywhere in the tree (for the optimizer's
   // projection pushdown).
   void CollectFields(std::vector<std::string>* out) const;
@@ -71,9 +79,22 @@ class Expr {
  private:
   Expr() = default;
 
+  // Cached interned id for kField nodes; kInvalidSymbol until bound. Atomic
+  // because shared trees may be evaluated from several threads; the value is
+  // write-once (interning is idempotent) so relaxed ordering suffices.
+  SymbolId BoundFieldId() const {
+    SymbolId id = field_id_.load(std::memory_order_relaxed);
+    if (id == kInvalidSymbol) {
+      id = InternSymbol(field_);
+      field_id_.store(id, std::memory_order_relaxed);
+    }
+    return id;
+  }
+
   ExprOp op_ = ExprOp::kLiteral;
   Value literal_;
   std::string field_;
+  mutable std::atomic<SymbolId> field_id_{kInvalidSymbol};
   Ptr lhs_;
   Ptr rhs_;
 };

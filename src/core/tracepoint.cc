@@ -15,8 +15,24 @@ int64_t MonotonicNanos() {
 
 }  // namespace
 
+namespace {
+
+// Pre-interned ids of the default export columns, so the per-fire appends
+// below skip the interner's hash lookup.
+struct DefaultExportSymbols {
+  SymbolId host = InternSymbol("host");
+  SymbolId procname = InternSymbol("procname");
+  SymbolId procid = InternSymbol("procid");
+  SymbolId timestamp = InternSymbol("timestamp");
+  SymbolId time = InternSymbol("time");
+  SymbolId tracepoint = InternSymbol("tracepoint");
+};
+
+}  // namespace
+
 void Tracepoint::InvokeSlow(ExecutionContext* ctx, const AdviceSet* set,
                             std::vector<Tuple::Field> exports) const {
+  static const DefaultExportSymbols sym;
   // Default exports (§3): host, timestamp, process id, process name, and the
   // tracepoint definition. "time" aliases "timestamp" — §6.2 queries use the
   // built-in `time` variable.
@@ -24,13 +40,13 @@ void Tracepoint::InvokeSlow(ExecutionContext* ctx, const AdviceSet* set,
   if (ctx != nullptr && ctx->runtime() != nullptr) {
     const ProcessRuntime& rt = *ctx->runtime();
     now = rt.NowMicros();
-    exports.push_back({"host", Value(rt.info.host)});
-    exports.push_back({"procname", Value(rt.info.process_name)});
-    exports.push_back({"procid", Value(rt.info.process_id)});
+    exports.push_back({sym.host, Value(rt.info.host)});
+    exports.push_back({sym.procname, Value(rt.info.process_name)});
+    exports.push_back({sym.procid, Value(rt.info.process_id)});
   }
-  exports.push_back({"timestamp", Value(now)});
-  exports.push_back({"time", Value(now)});
-  exports.push_back({"tracepoint", Value(def_.name)});
+  exports.push_back({sym.timestamp, Value(now)});
+  exports.push_back({sym.time, Value(now)});
+  exports.push_back({sym.tracepoint, Value(def_.name)});
   Tuple tuple(std::move(exports));
 
   if (ctx != nullptr && ctx->recorder() != nullptr) {
@@ -43,8 +59,8 @@ void Tracepoint::InvokeSlow(ExecutionContext* ctx, const AdviceSet* set,
     // Advice execution time is real wall clock even under simulated time:
     // it is the probe effect on the host, the quantity Table 5 bounds.
     int64_t start = MonotonicNanos();
-    for (const auto& [query_id, advice] : set->advice) {
-      advice->Execute(ctx, tuple);
+    for (const WovenEntry& entry : set->advice) {
+      entry.plan->Execute(ctx, tuple);
     }
     advice_nanos_.fetch_add(static_cast<uint64_t>(MonotonicNanos() - start),
                             std::memory_order_relaxed);
@@ -156,7 +172,9 @@ void TracepointRegistry::RebuildLocked(Tracepoint* tp) {
   for (const auto& [query_id, advice_list] : woven_) {
     for (const auto& [tp_name, adv] : advice_list) {
       if (tp_name == tp->name()) {
-        set->advice.emplace_back(query_id, adv);
+        // Weave-time plan compilation: all name resolution happens here, once,
+        // off the fire path.
+        set->advice.push_back(WovenEntry{query_id, adv, AdvicePlan::Compile(adv)});
       }
     }
   }

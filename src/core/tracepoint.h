@@ -24,6 +24,8 @@
 #include "src/common/status.h"
 #include "src/core/advice.h"
 #include "src/core/context.h"
+#include "src/core/plan.h"
+#include "src/core/symbol.h"
 #include "src/core/tuple.h"
 
 namespace pivot {
@@ -60,11 +62,17 @@ struct TracepointDef {
 };
 
 // Immutable snapshot of the advice woven at one tracepoint. Swapped atomically
-// by the registry; readers only ever see complete sets.
+// by the registry; readers only ever see complete sets. Each entry carries the
+// plan compiled at weave time (see src/core/plan.h), which is what Invoke
+// actually executes; the source advice is kept for unweave bookkeeping,
+// verification, and rendering.
+struct WovenEntry {
+  uint64_t query_id = 0;
+  Advice::Ptr advice;
+  AdvicePlan::Ptr plan;
+};
 struct AdviceSet {
-  // (owning query id, advice) — query id enables unweave bookkeeping and the
-  // per-query emitted-tuple accounting in benches.
-  std::vector<std::pair<uint64_t, Advice::Ptr>> advice;
+  std::vector<WovenEntry> advice;
 };
 
 class TracepointRegistry;

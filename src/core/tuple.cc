@@ -2,28 +2,47 @@
 
 namespace pivot {
 
-void Tuple::Set(std::string_view name, Value value) {
+void Tuple::Set(SymbolId id, Value value) {
   for (auto& f : fields_) {
-    if (f.name == name) {
+    if (f.id == id) {
       f.value = std::move(value);
       return;
     }
   }
-  fields_.push_back(Field{std::string(name), std::move(value)});
+  fields_.push_back(Field{id, std::move(value)});
 }
 
-Value Tuple::Get(std::string_view name) const {
+Value Tuple::Get(SymbolId id) const {
   for (const auto& f : fields_) {
-    if (f.name == name) {
+    if (f.id == id) {
       return f.value;
     }
   }
   return Value();
 }
 
+Value Tuple::Get(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (f.name() == name) {
+      return f.value;
+    }
+  }
+  return Value();
+}
+
+bool Tuple::Has(SymbolId id) const {
+  if (id == kInvalidSymbol) return false;
+  for (const auto& f : fields_) {
+    if (f.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool Tuple::Has(std::string_view name) const {
   for (const auto& f : fields_) {
-    if (f.name == name) {
+    if (f.name() == name) {
       return true;
     }
   }
@@ -39,18 +58,44 @@ Tuple Tuple::Concat(const Tuple& other) const {
   return out;
 }
 
-Tuple Tuple::Project(const std::vector<std::string>& names) const {
+Tuple Tuple::Project(const std::vector<SymbolId>& ids) const {
   Tuple out;
-  for (const auto& n : names) {
-    out.Append(n, Get(n));
+  out.fields_.reserve(ids.size());
+  for (SymbolId id : ids) {
+    out.Append(id, Get(id));
   }
   return out;
 }
 
-uint64_t Tuple::HashFields(const std::vector<std::string>& names) const {
+Tuple Tuple::Project(const std::vector<std::string>& names) const {
+  return Project(InternSymbols(names));
+}
+
+Tuple Tuple::Project(std::initializer_list<std::string_view> names) const {
+  Tuple out;
+  for (std::string_view n : names) {
+    SymbolId id = InternSymbol(n);
+    out.Append(id, Get(id));
+  }
+  return out;
+}
+
+uint64_t Tuple::HashFields(const std::vector<SymbolId>& ids) const {
   uint64_t h = 0x84222325CBF29CE4ULL;
-  for (const auto& n : names) {
-    h = h * 0x100000001B3ULL + Get(n).Hash();
+  for (SymbolId id : ids) {
+    h = h * 0x100000001B3ULL + Get(id).Hash();
+  }
+  return h;
+}
+
+uint64_t Tuple::HashFields(const std::vector<std::string>& names) const {
+  return HashFields(InternSymbols(names));
+}
+
+uint64_t Tuple::HashFields(std::initializer_list<std::string_view> names) const {
+  uint64_t h = 0x84222325CBF29CE4ULL;
+  for (std::string_view n : names) {
+    h = h * 0x100000001B3ULL + Get(InternSymbol(n)).Hash();
   }
   return h;
 }
@@ -61,12 +106,21 @@ std::string Tuple::ToString() const {
     if (i != 0) {
       out += ", ";
     }
-    out += fields_[i].name;
+    out += fields_[i].name();
     out += "=";
     out += fields_[i].value.ToString();
   }
   out += ")";
   return out;
+}
+
+std::vector<SymbolId> InternSymbols(const std::vector<std::string>& names) {
+  std::vector<SymbolId> ids;
+  ids.reserve(names.size());
+  for (const auto& n : names) {
+    ids.push_back(InternSymbol(n));
+  }
+  return ids;
 }
 
 }  // namespace pivot

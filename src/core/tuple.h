@@ -4,6 +4,12 @@
 // concatenate tuples from causally-earlier advice. Field names are qualified
 // by query alias ("incr.delta", "cl.procName") so joined tuples keep unambiguous
 // column names, exactly like the paper's query examples.
+//
+// Names are stored interned: a Field holds a dense SymbolId (see
+// src/core/symbol.h), so Get/Set/Project/HashFields compare integers instead
+// of strings on the advice hot path. String-based accessors remain for
+// compatibility and for cold paths (wire decode, rendering, tests); they
+// intern or look up through the global SymbolTable.
 
 #ifndef PIVOT_SRC_CORE_TUPLE_H_
 #define PIVOT_SRC_CORE_TUPLE_H_
@@ -15,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/symbol.h"
 #include "src/core/value.h"
 
 namespace pivot {
@@ -22,11 +29,19 @@ namespace pivot {
 class Tuple {
  public:
   struct Field {
-    std::string name;
+    SymbolId id = kInvalidSymbol;
     Value value;
 
+    Field() = default;
+    Field(SymbolId id, Value value) : id(id), value(std::move(value)) {}
+    // Interning constructor: keeps `Tuple{{"name", Value(...)}}` working.
+    Field(std::string_view name, Value value)
+        : id(InternSymbol(name)), value(std::move(value)) {}
+
+    std::string_view name() const { return SymbolName(id); }
+
     bool operator==(const Field& other) const {
-      return name == other.name && value == other.value;
+      return id == other.id && value == other.value;
     }
   };
 
@@ -40,15 +55,25 @@ class Tuple {
   const std::vector<Field>& fields() const { return fields_; }
 
   // Appends a field. Does not check for duplicates; Set() replaces instead.
-  void Append(std::string name, Value value) {
-    fields_.push_back(Field{std::move(name), std::move(value)});
+  void Append(SymbolId id, Value value) {
+    fields_.push_back(Field{id, std::move(value)});
+  }
+  void Append(std::string_view name, Value value) {
+    Append(InternSymbol(name), std::move(value));
   }
 
   // Replaces the named field, or appends it if absent.
-  void Set(std::string_view name, Value value);
+  void Set(SymbolId id, Value value);
+  void Set(std::string_view name, Value value) {
+    Set(InternSymbol(name), std::move(value));
+  }
 
-  // Returns the named field's value, or null if absent.
+  // Returns the named field's value, or null if absent. The string overloads
+  // compare against each field's interned name (lock-free; no table growth
+  // for lookups of absent names).
+  Value Get(SymbolId id) const;
   Value Get(std::string_view name) const;
+  bool Has(SymbolId id) const;
   bool Has(std::string_view name) const;
 
   // Concatenation `t1 · t2`, the joined-tuple construction of §3: fields of
@@ -57,10 +82,17 @@ class Tuple {
 
   // Projection Π: restricts to `names`, preserving the given order. Missing
   // fields project to null (the analyzer rejects unknown fields up front).
+  // The initializer_list overload keeps braced calls like Project({"a", "b"})
+  // unambiguous (a braced pair of string literals would otherwise match the
+  // vector<SymbolId> iterator-pair constructor).
+  Tuple Project(const std::vector<SymbolId>& ids) const;
   Tuple Project(const std::vector<std::string>& names) const;
+  Tuple Project(std::initializer_list<std::string_view> names) const;
 
   // Key for group-by: hash + equality over the values of `names` in order.
+  uint64_t HashFields(const std::vector<SymbolId>& ids) const;
   uint64_t HashFields(const std::vector<std::string>& names) const;
+  uint64_t HashFields(std::initializer_list<std::string_view> names) const;
 
   // "(a=1, b=x)" rendering.
   std::string ToString() const;
@@ -70,6 +102,9 @@ class Tuple {
  private:
   std::vector<Field> fields_;
 };
+
+// Interns each name; for cold paths that still carry column names as strings.
+std::vector<SymbolId> InternSymbols(const std::vector<std::string>& names);
 
 }  // namespace pivot
 

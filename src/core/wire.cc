@@ -4,7 +4,7 @@
 
 namespace pivot {
 
-void PutString(std::vector<uint8_t>* out, const std::string& s) {
+void PutString(std::vector<uint8_t>* out, std::string_view s) {
   PutVarint64(out, s.size());
   out->insert(out->end(), s.begin(), s.end());
 }
@@ -93,7 +93,7 @@ bool GetValue(const uint8_t* data, size_t size, size_t* pos, Value* v) {
 void PutTuple(std::vector<uint8_t>* out, const Tuple& t) {
   PutVarint64(out, t.size());
   for (const auto& f : t.fields()) {
-    PutString(out, f.name);
+    PutString(out, f.name());
     PutValue(out, f.value);
   }
 }
@@ -110,11 +110,13 @@ bool GetTuple(const uint8_t* data, size_t size, size_t* pos, Tuple* t) {
   }
   std::vector<Tuple::Field> fields;
   fields.reserve(n);
+  std::string name;
   for (uint64_t i = 0; i < n; ++i) {
     Tuple::Field f;
-    if (!GetString(data, size, pos, &f.name) || !GetValue(data, size, pos, &f.value)) {
+    if (!GetString(data, size, pos, &name) || !GetValue(data, size, pos, &f.value)) {
       return false;
     }
+    f.id = InternSymbol(name);
     fields.push_back(std::move(f));
   }
   *t = Tuple(std::move(fields));

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/varint.h"
@@ -20,14 +21,15 @@
 namespace pivot {
 
 // Length-prefixed UTF-8/byte string.
-void PutString(std::vector<uint8_t>* out, const std::string& s);
+void PutString(std::vector<uint8_t>* out, std::string_view s);
 bool GetString(const uint8_t* data, size_t size, size_t* pos, std::string* s);
 
 // Value: 1-byte type tag + payload (zig-zag varint / raw IEEE754 LE / string).
 void PutValue(std::vector<uint8_t>* out, const Value& v);
 bool GetValue(const uint8_t* data, size_t size, size_t* pos, Value* v);
 
-// Tuple: field count + (name, value) pairs.
+// Tuple: field count + (name, value) pairs. Symbol ids are process-local, so
+// the wire carries names; decode re-interns through the global SymbolTable.
 void PutTuple(std::vector<uint8_t>* out, const Tuple& t);
 bool GetTuple(const uint8_t* data, size_t size, size_t* pos, Tuple* t);
 

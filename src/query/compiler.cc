@@ -698,6 +698,14 @@ Result<CompiledQuery> QueryCompiler::Compile(const Query& q, uint64_t query_id) 
       builder.Pack(st.bag, st.pack_spec, st.pack_fields);
     }
     Advice::Ptr advice = builder.Build();
+    // Pre-bind every expression's field references to interned SymbolIds at
+    // compile time, so weaving (AdvicePlan::Compile) and first execution never
+    // pay the name->id resolution — the agent hot path sees bound exprs only.
+    for (const Advice::Op& op : advice->ops()) {
+      if (op.expr != nullptr) {
+        op.expr->Bind();
+      }
+    }
     for (const auto& tp_name : st.source.tracepoints) {
       out.advice.emplace_back(tp_name, advice);
     }

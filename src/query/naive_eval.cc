@@ -125,7 +125,7 @@ Result<NaiveResult> EvaluateNaive(const Query& q, const TraceRecorder& recorder,
       }
       Tuple qualified;
       for (const auto& f : ev.exports.fields()) {
-        qualified.Append(stages[i].source.alias + "." + f.name, f.value);
+        qualified.Append(stages[i].source.alias + "." + std::string(f.name()), f.value);
       }
       it->second[i].push_back(Candidate{ev.event, std::move(qualified)});
       ++result.tuples_shipped;

@@ -12,6 +12,8 @@
 #include "src/common/rand.h"
 #include "src/core/advice.h"
 #include "src/core/advice_io.h"
+#include "src/core/context.h"
+#include "src/core/plan.h"
 
 namespace pivot {
 namespace {
@@ -27,10 +29,15 @@ class AdviceGenerator {
  public:
   explicit AdviceGenerator(uint64_t seed) : rng_(seed) {}
 
-  Advice::Ptr Random() {
+  // `deterministic_sampling` restricts Sample rates to {0, >=1}, which decide
+  // without consuming the shared sampling counter — required when the same
+  // program runs down two execution paths that must agree tuple-for-tuple.
+  Advice::Ptr Random(bool deterministic_sampling = false) {
     AdviceBuilder b;
     if (rng_.NextBool(0.3)) {
-      b.Sample(rng_.NextDouble() * 1.5);  // Sometimes out of range: PT104 food.
+      b.Sample(deterministic_sampling
+                   ? (rng_.NextBool(0.85) ? 1.5 : 0.0)
+                   : rng_.NextDouble() * 1.5);  // Sometimes out of range: PT104 food.
     }
     int ops = static_cast<int>(1 + rng_.NextBelow(6));
     for (int i = 0; i < ops; ++i) {
@@ -211,6 +218,82 @@ TEST_P(AdviceGarbageFuzz, GarbageBytesAreRejectedOrAnalyzedWithoutCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AdviceGarbageFuzz,
                          ::testing::Range(uint64_t{1}, uint64_t{6}));
+
+// ---- Compiled-plan equivalence (docs/PERFORMANCE.md) ----
+//
+// AdvicePlan::Compile lowers advice into pre-resolved steps; Execute must be
+// observationally identical to the reference interpreter Advice::Execute:
+// same emitted (query, tuple) sequence, byte-identical serialized baggage,
+// and the bytes must survive a Deserialize/Serialize round trip under the
+// copy-on-write instance representation. Sampling in (0,1) draws from a
+// shared process-global counter, so programs here use only rates that decide
+// without consuming it (the probabilistic branch is the same shared
+// advice_internal::SampleAccept on both paths).
+
+class CollectSink : public EmitSink {
+ public:
+  void EmitTuple(uint64_t query_id, const Tuple& t) override {
+    emitted.emplace_back(query_id, t);
+  }
+  std::vector<std::pair<uint64_t, Tuple>> emitted;
+};
+
+class PlanEquivalenceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlanEquivalenceFuzz, PlanMatchesReferenceInterpreter) {
+  AdviceGenerator gen(GetParam() * 31337);
+  Rng* rng = gen.rng();
+  for (int trial = 0; trial < 60; ++trial) {
+    Advice::Ptr advice = gen.Random(/*deterministic_sampling=*/true);
+    AdvicePlan::Ptr plan = AdvicePlan::Compile(advice);
+    ASSERT_NE(plan, nullptr);
+    ASSERT_EQ(plan->step_count(), advice->ops().size());
+
+    // Identical starting state on both sides: a baggage with a few packed
+    // tuples (copied, so the two contexts cannot influence each other).
+    Baggage seed_baggage;
+    int packs = static_cast<int>(rng->NextBelow(4));
+    for (int i = 0; i < packs; ++i) {
+      seed_baggage.Pack(rng->NextBelow(4 * kBagKeysPerQuery), BagSpec::All(),
+                        Tuple{{"t.host", Value(rng->NextInt(0, 5))},
+                              {"t.delta", Value(rng->NextInt(-100, 100))}});
+    }
+    Tuple exports{{"x", Value(rng->NextInt(-5, 5))},
+                  {"host", Value("h" + std::to_string(rng->NextBelow(3)))},
+                  {"delta", Value(rng->NextInt(0, 1000))}};
+
+    CollectSink ref_sink, plan_sink;
+    ProcessRuntime ref_rt, plan_rt;
+    ref_rt.info = plan_rt.info = {"host", "fuzz", 1};
+    ref_rt.sink = &ref_sink;
+    plan_rt.sink = &plan_sink;
+    ExecutionContext ref_ctx(&ref_rt), plan_ctx(&plan_rt);
+    ref_ctx.set_baggage(seed_baggage);
+    plan_ctx.set_baggage(seed_baggage);
+
+    advice->Execute(&ref_ctx, exports);
+    plan->Execute(&plan_ctx, exports);
+
+    ASSERT_EQ(ref_sink.emitted.size(), plan_sink.emitted.size());
+    for (size_t i = 0; i < ref_sink.emitted.size(); ++i) {
+      EXPECT_EQ(ref_sink.emitted[i].first, plan_sink.emitted[i].first);
+      EXPECT_EQ(ref_sink.emitted[i].second, plan_sink.emitted[i].second);
+    }
+
+    std::vector<uint8_t> ref_bytes = ref_ctx.baggage().Serialize();
+    std::vector<uint8_t> plan_bytes = plan_ctx.baggage().Serialize();
+    EXPECT_EQ(ref_bytes, plan_bytes);
+
+    // Round trip under COW: deserializing seeds per-instance caches from the
+    // wire, and re-serializing must reproduce the bytes exactly.
+    Result<Baggage> round = Baggage::Deserialize(plan_bytes);
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ((*round).Serialize(), plan_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalenceFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
 
 TEST(AdviceVerifierGate, VerifierRejectsDegenerateDecodes) {
   // The one guarantee the fuzzers cannot assert generically: a decode that

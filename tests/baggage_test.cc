@@ -5,6 +5,7 @@
 #include "src/common/rand.h"
 #include "src/core/baggage.h"
 #include "src/core/wire.h"
+#include "src/telemetry/metrics.h"
 
 namespace pivot {
 namespace {
@@ -321,6 +322,57 @@ TEST(BaggageTest, TupleCountAndClear) {
   l.Clear();
   EXPECT_TRUE(l.IsTrivial());
   EXPECT_EQ(l.TupleCount(), 0u);
+}
+
+// The memoized-encoding contract (docs/PERFORMANCE.md): serializing a baggage
+// that has not changed since its last Serialize — the response leg of every
+// RPC — reuses cached bytes per instance instead of re-encoding, observable
+// through the baggage.serialize_cache_hit/miss counters. Each non-trivial
+// Serialize counts exactly one hit-or-miss for the active instance plus one
+// per inactive instance.
+TEST(BaggageCache, SerializeAfterRpcHopReusesCachedBytes) {
+  telemetry::Counter& hits =
+      telemetry::Metrics().GetCounter("baggage.serialize_cache_hit");
+  telemetry::Counter& misses =
+      telemetry::Metrics().GetCounter("baggage.serialize_cache_miss");
+
+  // One frozen inactive instance (via Split) + tuples in the active instance.
+  Baggage b;
+  b.Pack(5, BagSpec::All(), T("a", 1));
+  auto [left, right] = b.Split();
+  Baggage sender = std::move(left);
+  sender.Pack(6, BagSpec::All(), T("b", 2));
+
+  // Request leg: first serialize encodes (misses allowed), and the result is
+  // cached per instance.
+  std::vector<uint8_t> wire = sender.Serialize();
+
+  // Response leg: nothing changed — every instance must hit its cache.
+  uint64_t h0 = hits.value(), m0 = misses.value();
+  EXPECT_EQ(sender.Serialize(), wire);
+  EXPECT_EQ(hits.value(), h0 + 2);  // active + 1 inactive
+  EXPECT_EQ(misses.value(), m0);
+
+  // Receiver side: Deserialize seeds each instance's cache from the wire
+  // slice, so the hop's re-serialize is also all hits and byte-identical.
+  Result<Baggage> received = Baggage::Deserialize(wire);
+  ASSERT_TRUE(received.ok());
+  h0 = hits.value();
+  m0 = misses.value();
+  EXPECT_EQ((*received).Serialize(), wire);
+  EXPECT_EQ(hits.value(), h0 + 2);
+  EXPECT_EQ(misses.value(), m0);
+
+  // Packing dirties only the active instance: the next serialize re-encodes
+  // it (one miss) while frozen instances still serve cached bytes.
+  Baggage mutated = std::move(received).value();
+  mutated.Pack(7, BagSpec::All(), T("c", 3));
+  h0 = hits.value();
+  m0 = misses.value();
+  std::vector<uint8_t> wire2 = mutated.Serialize();
+  EXPECT_NE(wire2, wire);
+  EXPECT_EQ(misses.value(), m0 + 1);
+  EXPECT_EQ(hits.value(), h0 + 1);
 }
 
 }  // namespace

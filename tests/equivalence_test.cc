@@ -97,6 +97,10 @@ class EquivalenceHarness {
     std::vector<uint8_t> wire = ctx->baggage().Serialize();
     Result<Baggage> baggage = Baggage::Deserialize(wire);
     ASSERT_TRUE(baggage.ok());
+    // Wire-seeded encoding caches must reproduce the received bytes exactly:
+    // serializing an untouched deserialized baggage is a cache copy, and the
+    // canonical encoder guarantees it equals what arrived.
+    EXPECT_EQ((*baggage).Serialize(), wire);
     ctx->set_baggage(std::move(baggage).value());
     ctx->set_runtime(&proc.runtime);
 

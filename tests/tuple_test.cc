@@ -37,8 +37,8 @@ TEST(TupleTest, ConcatJoinsFieldsInOrder) {
   Tuple b{{"b.y", Value(int64_t{2})}};
   Tuple joined = a.Concat(b);
   EXPECT_EQ(joined.size(), 2u);
-  EXPECT_EQ(joined.field(0).name, "a.x");
-  EXPECT_EQ(joined.field(1).name, "b.y");
+  EXPECT_EQ(joined.field(0).name(), "a.x");
+  EXPECT_EQ(joined.field(1).name(), "b.y");
 }
 
 TEST(TupleTest, GetReturnsFirstOnDuplicates) {
@@ -51,8 +51,8 @@ TEST(TupleTest, ProjectPreservesRequestedOrder) {
   Tuple t{{"a", Value(int64_t{1})}, {"b", Value(int64_t{2})}, {"c", Value(int64_t{3})}};
   Tuple p = t.Project({"c", "a"});
   ASSERT_EQ(p.size(), 2u);
-  EXPECT_EQ(p.field(0).name, "c");
-  EXPECT_EQ(p.field(1).name, "a");
+  EXPECT_EQ(p.field(0).name(), "c");
+  EXPECT_EQ(p.field(1).name(), "a");
 }
 
 TEST(TupleTest, ProjectMissingYieldsNull) {
