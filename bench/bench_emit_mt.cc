@@ -1,0 +1,232 @@
+// Multi-threaded emission-path benchmark (docs/PERFORMANCE.md, "Emission
+// path"): PTAgent::EmitTuple intake cost, sharded vs global-lock.
+//
+//   1. Single-thread ns/tuple: an 8-shard agent vs a 1-shard agent (the
+//      1-shard configuration is the old global-lock path: one mutex, one
+//      aggregator). Sharding must not tax the sequential caller — gated by
+//      --max-st-ratio (sharded/baseline, check.sh passes 1.25).
+//   2. 1→8-thread scaling: aggregate tuples/s through both configurations.
+//      On multi-core hardware the sharded intake must reach
+//      --min-mt-speedup (3x, per ISSUE) over the global lock at 8 threads.
+//      On boxes with < 4 hardware threads the contention being measured
+//      physically cannot materialize (one core interleaves the "contending"
+//      threads), so the MT gate self-skips with a SKIP line; CI's multi-core
+//      runners enforce it.
+//
+// Hand-rolled timing (best-of-passes) like bench_hotpath: no benchmark
+// library, so the gate runs identically everywhere check.sh does.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/agent/agent.h"
+#include "src/bus/message_bus.h"
+
+namespace pivot {
+namespace {
+
+constexpr uint64_t kQuery = 1;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MeasureNs(const std::function<void()>& fn, int iters, int passes = 8) {
+  int64_t best = INT64_MAX;
+  for (int p = 0; p < passes; ++p) {
+    int64_t start = NowNanos();
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    int64_t elapsed = NowNanos() - start;
+    if (elapsed < best) {
+      best = elapsed;
+    }
+  }
+  return static_cast<double>(best) / iters;
+}
+
+// A woven grouped-COUNT query (8 groups), the common aggregated-intake shape.
+WeaveCommand Command() {
+  WeaveCommand cmd;
+  cmd.query_id = kQuery;
+  cmd.advice.emplace_back("X",
+                          AdviceBuilder().Observe({{"v", "x.v"}}).Emit(kQuery, {}).Build());
+  cmd.plan.aggregated = true;
+  cmd.plan.group_fields = {"x.v"};
+  cmd.plan.aggs = {{AggFn::kCount, "", "COUNT", false}};
+  cmd.plan.output_columns = {"x.v", "COUNT"};
+  return cmd;
+}
+
+// One agent + bus + registry, woven and ready to take emissions.
+struct Harness {
+  MessageBus bus;
+  TracepointRegistry registry;
+  std::unique_ptr<PTAgent> agent;
+
+  explicit Harness(size_t shards) {
+    agent = std::make_unique<PTAgent>(&bus, &registry, ProcessInfo{"bench", "proc", 1}, shards);
+    bus.Publish(BusMessage{kCommandTopic, EncodeWeave(Command())});
+  }
+};
+
+std::vector<Tuple> MakeRows() {
+  std::vector<Tuple> rows;
+  for (int64_t v = 0; v < 8; ++v) {
+    rows.push_back(Tuple{{"x.v", Value(v)}});
+  }
+  return rows;
+}
+
+// Aggregate throughput (tuples/s) of `threads` emitters, best of `passes`.
+double MeasureThroughput(PTAgent* agent, int threads, int per_thread, int passes = 3) {
+  const std::vector<Tuple> rows = MakeRows();
+  double best = 0.0;
+  for (int p = 0; p < passes; ++p) {
+    std::atomic<bool> go{false};
+    std::atomic<int> ready{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < per_thread; ++i) {
+          agent->EmitTuple(kQuery, rows[i & 7]);
+        }
+      });
+    }
+    while (ready.load() != threads) {
+    }
+    int64_t start = NowNanos();
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) {
+      w.join();
+    }
+    int64_t elapsed = NowNanos() - start;
+    double rate = static_cast<double>(threads) * per_thread * 1e9 / elapsed;
+    if (rate > best) {
+      best = rate;
+    }
+    agent->Flush(p + 1);  // Reset interval state between passes.
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  using namespace pivot;
+
+  double max_st_ratio = 0.0;    // 0 = report only.
+  double min_mt_speedup = 0.0;  // 0 = report only.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-st-ratio=", 15) == 0) {
+      max_st_ratio = std::atof(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--min-mt-speedup=", 17) == 0) {
+      min_mt_speedup = std::atof(argv[i] + 17);
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  BenchJson json("emit_mt");
+  printf("Emission-path benchmark: sharded vs global-lock intake (hw threads: %u)\n\n", hw);
+
+  Harness sharded(8);
+  Harness single(1);
+  printf("shard counts: sharded=%zu baseline=%zu\n\n", sharded.agent->shard_count(),
+         single.agent->shard_count());
+
+  // ---- 1. Single-thread ns/tuple ----
+  double st_single;
+  double st_sharded;
+  {
+    constexpr int kIters = 100'000;
+    const std::vector<Tuple> rows = MakeRows();
+    int i = 0;
+    st_single = MeasureNs([&] { single.agent->EmitTuple(kQuery, rows[i++ & 7]); }, kIters);
+    single.agent->Flush(1'000);
+    i = 0;
+    st_sharded = MeasureNs([&] { sharded.agent->EmitTuple(kQuery, rows[i++ & 7]); }, kIters);
+    sharded.agent->Flush(1'000);
+  }
+  double st_ratio = st_sharded / st_single;
+  printf("Single-thread EmitTuple:\n");
+  printf("  global-lock (1 shard) %7.1f ns/tuple\n", st_single);
+  printf("  sharded (8 shards)    %7.1f ns/tuple   (ratio %.2fx)\n\n", st_sharded, st_ratio);
+  json.Report("st_ns_global_lock", st_single, "ns");
+  json.Report("st_ns_sharded", st_sharded, "ns");
+  json.Report("st_ratio", st_ratio, "x");
+
+  // ---- 2. Multi-thread scaling ----
+  constexpr int kPerThread = 200'000;
+  double mt_single_8t = 0.0;
+  double mt_sharded_8t = 0.0;
+  printf("Aggregate intake throughput (M tuples/s):\n");
+  printf("  threads   global-lock   sharded\n");
+  for (int threads : {1, 2, 4, 8}) {
+    double a = MeasureThroughput(single.agent.get(), threads, kPerThread);
+    double b = MeasureThroughput(sharded.agent.get(), threads, kPerThread);
+    printf("  %7d   %11.2f   %7.2f\n", threads, a / 1e6, b / 1e6);
+    json.Report("mt_" + std::to_string(threads) + "t_global_lock", a / 1e6, "Mtuples/s");
+    json.Report("mt_" + std::to_string(threads) + "t_sharded", b / 1e6, "Mtuples/s");
+    if (threads == 8) {
+      mt_single_8t = a;
+      mt_sharded_8t = b;
+    }
+  }
+  double mt_speedup = mt_sharded_8t / mt_single_8t;
+  printf("\n8-thread sharded speedup over global lock: %.2fx\n", mt_speedup);
+  printf("shard-lock collisions observed: %llu (sharded) %llu (global)\n",
+         static_cast<unsigned long long>(sharded.agent->shard_contentions()),
+         static_cast<unsigned long long>(single.agent->shard_contentions()));
+  json.Report("mt_speedup_8t", mt_speedup, "x");
+  json.Report("shard_contentions", static_cast<double>(sharded.agent->shard_contentions()),
+              "count");
+
+  // ---- Gates ----
+  bool fail = false;
+  if (max_st_ratio > 0.0) {
+    if (st_ratio > max_st_ratio) {
+      printf("\nFAIL: sharded single-thread intake %.2fx the global-lock cost (max %.2fx)\n",
+             st_ratio, max_st_ratio);
+      fail = true;
+    } else {
+      printf("\nPASS: sharded single-thread intake %.2fx the global-lock cost (<= %.2fx)\n",
+             st_ratio, max_st_ratio);
+    }
+  }
+  if (min_mt_speedup > 0.0) {
+    if (hw < 4) {
+      // One core interleaves all "concurrent" emitters, so the global lock is
+      // never actually contended and sharding has nothing to win. The ratio is
+      // unmeasurable here, not violated: skip rather than fail, and let the
+      // multi-core CI runner enforce it.
+      printf("SKIP: multi-thread scaling gate needs >= 4 hardware threads (have %u)\n", hw);
+      json.Report("mt_gate_skipped", 1.0, "bool");
+    } else if (mt_speedup < min_mt_speedup) {
+      printf("FAIL: sharded intake only %.2fx global lock at 8 threads (need >= %.2fx)\n",
+             mt_speedup, min_mt_speedup);
+      fail = true;
+    } else {
+      printf("PASS: sharded intake %.2fx global lock at 8 threads (>= %.2fx required)\n",
+             mt_speedup, min_mt_speedup);
+    }
+  }
+
+  json.Write();
+  return fail ? 1 : 0;
+}

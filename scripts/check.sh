@@ -23,6 +23,8 @@ case "${1:-}" in
 esac
 max_overhead=${MAX_OVERHEAD_PCT:-10}
 min_serialize_speedup=${MIN_SERIALIZE_SPEEDUP:-10}
+min_mt_speedup=${MIN_MT_SPEEDUP:-3}
+max_st_ratio=${MAX_ST_RATIO:-1.25}
 
 # Machine-readable bench results: every bench writes BENCH_<name>.json here
 # (bench/bench_util.h BenchJson); CI uploads the directory as an artifact.
@@ -74,6 +76,13 @@ echo "=== install-time analysis gate (<= ${max_lint_micros} us/query) ==="
 echo
 echo "=== serialize memoization gate (clean >= ${min_serialize_speedup}x faster than dirty) ==="
 "$build_dir/bench/bench_hotpath" --min-serialize-speedup="$min_serialize_speedup"
+
+echo
+echo "=== emission scaling gate (sharded >= ${min_mt_speedup}x at 8 threads, st ratio <= ${max_st_ratio}x) ==="
+# The MT gate self-skips on < 4 hardware threads (the contention it measures
+# cannot exist on one core); the single-thread ratio gate always runs.
+"$build_dir/bench/bench_emit_mt" --min-mt-speedup="$min_mt_speedup" \
+  --max-st-ratio="$max_st_ratio"
 
 echo
 echo "All checks passed. Bench results: $PIVOT_BENCH_JSON_DIR/BENCH_*.json"

@@ -1,6 +1,7 @@
 #include "src/agent/agent.h"
 
 #include <chrono>
+#include <thread>
 
 #include "src/analysis/query_linter.h"
 #include "src/telemetry/metrics.h"
@@ -39,16 +40,52 @@ telemetry::Histogram& FlushNanosHistogram() {
   return h;
 }
 
+telemetry::Counter& ShardContentionCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("agent.emit_shard_contention");
+  return c;
+}
+
+telemetry::Counter& BatchReportsCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("bus.batch_reports");
+  return c;
+}
+
 int64_t MonotonicNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
+// Process-wide dense thread ordinal: thread K gets ordinal K in creation
+// order, so `ordinal % shard_count` spreads emitters evenly across shards
+// and a single-threaded process always lands in shard 0 (keeping the
+// simulator and sequential tests byte-for-byte deterministic).
+size_t ThreadOrdinal() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+size_t DefaultShardCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  return hw > 64 ? 64 : hw;
+}
+
 }  // namespace
 
-PTAgent::PTAgent(MessageBus* bus, TracepointRegistry* registry, ProcessInfo info)
+PTAgent::PTAgent(MessageBus* bus, TracepointRegistry* registry, ProcessInfo info,
+                 size_t shard_count)
     : bus_(bus), registry_(registry), info_(std::move(info)) {
+  if (shard_count == 0) {
+    shard_count = DefaultShardCount();
+  }
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   subscription_ =
       bus_->Subscribe(kCommandTopic, [this](const BusMessage& msg) { HandleCommand(msg); });
   // Announce ourselves so the frontend replays any already-active queries
@@ -88,8 +125,7 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
             analysis::QueryLinter(lint_options).Lint(cmd.query_id, cmd.advice, plan);
         if (lint.report.has_errors()) {
           WeavesRefusedCounter().Increment();
-          std::lock_guard<std::mutex> lock(mu_);
-          ++weaves_refused_;
+          weaves_refused_.fetch_add(1, std::memory_order_relaxed);
           return;
         }
       }
@@ -102,6 +138,15 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
         state.plan = cmd.plan;
         state.agg = Aggregator(cmd.plan.group_fields, cmd.plan.aggs);
         queries_.emplace(cmd.query_id, std::move(state));
+        // Give every shard its own partial-aggregation slot before any advice
+        // can fire (the registry weave below). Shard locks nest inside mu_.
+        for (auto& shard : shards_) {
+          std::lock_guard<std::mutex> shard_lock(shard->mu);
+          ShardQueryState slot;
+          slot.aggregated = cmd.plan.aggregated;
+          slot.agg = Aggregator(cmd.plan.group_fields, cmd.plan.aggs);
+          shard->queries.emplace(cmd.query_id, std::move(slot));
+        }
       }
       // Hand the registry the full advice list: tracepoints this process does
       // not define are woven lazily if/when they are defined (deferred
@@ -119,50 +164,88 @@ void PTAgent::HandleCommand(const BusMessage& msg) {
       registry_->UnweaveQuery(decoded->unweave_query_id);
       std::lock_guard<std::mutex> lock(mu_);
       queries_.erase(decoded->unweave_query_id);
+      for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mu);
+        shard->queries.erase(decoded->unweave_query_id);
+      }
       break;
     }
     case ControlMessageType::kReport:
     case ControlMessageType::kHello:
     case ControlMessageType::kWeaveAck:
     case ControlMessageType::kStats:
+    case ControlMessageType::kBatch:
       break;  // Agents ignore other agents' traffic.
   }
 }
 
 void PTAgent::EmitTuple(uint64_t query_id, const Tuple& t) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = queries_.find(query_id);
-  if (it == queries_.end()) {
-    ++dropped_total_;
+  Shard& shard = *shards_[ThreadOrdinal() % shards_.size()];
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Another thread shares this shard (or Flush is draining it) — count the
+    // collision, then block. Stays ~0 when shards >= emitting threads.
+    ShardContentionCounter().Increment();
+    shard_contentions_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  auto it = shard.queries.find(query_id);
+  if (it == shard.queries.end()) {
+    dropped_total_.fetch_add(1, std::memory_order_relaxed);
     DroppedTuplesCounter().Increment();
     return;  // Query was unwoven concurrently; drop.
   }
-  QueryState& state = it->second;
-  ++state.emitted;
-  ++emitted_total_;
+  ShardQueryState& slot = it->second;
+  ++slot.emitted;
+  emitted_total_.fetch_add(1, std::memory_order_relaxed);
   EmittedTuplesCounter().Increment();
-  if (state.plan.aggregated) {
-    state.agg.AddInput(t);
+  if (slot.aggregated) {
+    slot.agg.AddInput(t);
   } else {
-    state.buffered.push_back(t);
+    slot.buffered.push_back(t);
   }
 }
 
 void PTAgent::Flush(int64_t now_micros) {
   int64_t flush_start = MonotonicNanos();
-  std::vector<AgentReport> reports;
-  std::vector<AgentStats> heartbeats;
+  ReportBatch batch;
+  batch.host = info_.host;
+  batch.process_name = info_.process_name;
+  batch.timestamp_micros = now_micros;
   // queryId -> suppressed count, for the meta-tracepoint rows below.
   std::vector<std::pair<uint64_t, uint64_t>> flushed_meta;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Drain every shard's partials into the per-query merge state. AddState
+    // is the combiner of Table 3 ("for Count, the combiner is Sum"), so the
+    // merged result is exactly what a single global aggregator would have
+    // accumulated — only the association order differs, never the values.
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      for (auto& [query_id, slot] : shard->queries) {
+        auto it = queries_.find(query_id);
+        if (it == queries_.end()) {
+          continue;  // Weave/unweave keep the maps in sync; belt and braces.
+        }
+        QueryState& state = it->second;
+        state.emitted += slot.emitted;
+        slot.emitted = 0;
+        if (slot.aggregated) {
+          if (!slot.agg.empty()) {
+            for (const Tuple& st : slot.agg.StateTuples()) {
+              state.agg.AddState(st);
+            }
+            slot.agg.Clear();
+          }
+        } else if (!slot.buffered.empty()) {
+          for (Tuple& row : slot.buffered) {
+            state.buffered.push_back(std::move(row));
+          }
+          slot.buffered.clear();
+        }
+      }
+    }
     for (auto& [query_id, state] : queries_) {
-      AgentReport report;
-      report.query_id = query_id;
-      report.host = info_.host;
-      report.process_name = info_.process_name;
-      report.timestamp_micros = now_micros;
-      report.aggregated = state.plan.aggregated;
       bool empty = state.plan.aggregated ? state.agg.empty() : state.buffered.empty();
       if (empty) {
         // Quiet interval: publish nothing, but count the suppression and
@@ -178,10 +261,16 @@ void PTAgent::Flush(int64_t now_micros) {
           hb.last_report_micros = state.last_report_micros;
           hb.reports_suppressed = state.reports_suppressed;
           hb.tuples_emitted = state.emitted;
-          heartbeats.push_back(std::move(hb));
+          batch.heartbeats.push_back(std::move(hb));
         }
         continue;
       }
+      AgentReport report;
+      report.query_id = query_id;
+      report.host = info_.host;
+      report.process_name = info_.process_name;
+      report.timestamp_micros = now_micros;
+      report.aggregated = state.plan.aggregated;
       if (state.plan.aggregated) {
         report.tuples = state.agg.StateTuples();
         state.agg.Clear();
@@ -191,60 +280,57 @@ void PTAgent::Flush(int64_t now_micros) {
       }
       state.last_report_micros = now_micros;
       state.suppressed_since_heartbeat = 0;
-      reported_total_ += report.tuples.size();
-      ++reports_published_;
+      reported_total_.fetch_add(report.tuples.size(), std::memory_order_relaxed);
+      reports_published_.fetch_add(1, std::memory_order_relaxed);
       flushed_meta.emplace_back(query_id, state.reports_suppressed);
-      reports.push_back(std::move(report));
+      batch.reports.push_back(std::move(report));
     }
   }
-  // Publish and meta-fire outside the lock: advice woven at PTAgent.Flush
-  // calls back into EmitTuple, which takes mu_. Tuples it emits land in the
-  // *next* interval, so self-observation converges instead of recursing.
+  if (batch.reports.empty() && batch.heartbeats.empty()) {
+    FlushNanosHistogram().Observe(static_cast<uint64_t>(MonotonicNanos() - flush_start));
+    return;  // Nothing to say: quiet processes stay quiet on the bus.
+  }
+  // Publish and meta-fire outside the locks: advice woven at PTAgent.Flush
+  // calls back into EmitTuple, which takes a shard lock. Tuples it emits land
+  // in the *next* interval, so self-observation converges instead of
+  // recursing. The whole flush ships as one kBatch frame — one bus publish
+  // per interval, however many queries reported.
+  std::vector<size_t> report_bytes;
+  std::vector<uint8_t> encoded = EncodeReportBatch(batch, &report_bytes);
+  ReportsCounter().Increment(batch.reports.size());
+  ReportBytesCounter().Increment(encoded.size());
+  BatchReportsCounter().Increment();
+  bus_->Publish(BusMessage{kReportTopic, std::move(encoded)});
   const Tracepoint* flush_tp = runtime_ != nullptr ? runtime_->meta.agent_flush : nullptr;
-  for (size_t i = 0; i < reports.size(); ++i) {
-    std::vector<uint8_t> encoded = EncodeReport(reports[i]);
-    ReportsCounter().Increment();
-    ReportBytesCounter().Increment(encoded.size());
-    size_t report_bytes = encoded.size();
-    bus_->Publish(BusMessage{kReportTopic, std::move(encoded)});
-    if (flush_tp != nullptr && flush_tp->enabled()) {
+  if (flush_tp != nullptr && flush_tp->enabled()) {
+    for (size_t i = 0; i < batch.reports.size(); ++i) {
       ExecutionContext ctx(runtime_);
       flush_tp->Invoke(&ctx,
                        {{"queryId", Value(static_cast<int64_t>(flushed_meta[i].first))},
-                        {"tuples", Value(static_cast<int64_t>(reports[i].tuples.size()))},
-                        {"bytes", Value(static_cast<int64_t>(report_bytes))},
+                        {"tuples", Value(static_cast<int64_t>(batch.reports[i].tuples.size()))},
+                        {"bytes", Value(static_cast<int64_t>(report_bytes[i]))},
                         {"suppressed", Value(static_cast<int64_t>(flushed_meta[i].second))}});
     }
-  }
-  for (const auto& hb : heartbeats) {
-    bus_->Publish(BusMessage{kReportTopic, EncodeAgentStats(hb)});
   }
   FlushNanosHistogram().Observe(static_cast<uint64_t>(MonotonicNanos() - flush_start));
 }
 
-uint64_t PTAgent::emitted_tuples() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return emitted_total_;
-}
+uint64_t PTAgent::emitted_tuples() const { return emitted_total_.load(std::memory_order_relaxed); }
 
 uint64_t PTAgent::reported_tuples() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return reported_total_;
+  return reported_total_.load(std::memory_order_relaxed);
 }
 
 uint64_t PTAgent::reports_published() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return reports_published_;
+  return reports_published_.load(std::memory_order_relaxed);
 }
 
-uint64_t PTAgent::dropped_tuples() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dropped_total_;
-}
+uint64_t PTAgent::dropped_tuples() const { return dropped_total_.load(std::memory_order_relaxed); }
 
-uint64_t PTAgent::weaves_refused() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return weaves_refused_;
+uint64_t PTAgent::weaves_refused() const { return weaves_refused_.load(std::memory_order_relaxed); }
+
+uint64_t PTAgent::shard_contentions() const {
+  return shard_contentions_.load(std::memory_order_relaxed);
 }
 
 std::vector<AgentQueryStats> PTAgent::QueryStats() const {
@@ -253,6 +339,20 @@ std::vector<AgentQueryStats> PTAgent::QueryStats() const {
   out.reserve(queries_.size());
   for (const auto& [query_id, state] : queries_) {
     out.push_back({query_id, state.emitted, state.last_report_micros, state.reports_suppressed});
+  }
+  // Add what is still sitting in the shards (emitted since the last flush),
+  // so `emitted` is live rather than flush-delayed. queries_ is sorted, and
+  // every shard slot has a queries_ row, so binary search always lands.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [query_id, slot] : shard->queries) {
+      for (auto& row : out) {
+        if (row.query_id == query_id) {
+          row.emitted += slot.emitted;
+          break;
+        }
+      }
+    }
   }
   return out;
 }

@@ -11,12 +11,22 @@
 // advice Emit ops feed it directly in-process. Flush() publishes the interval
 // report; the simulator calls it once per simulated second, a real deployment
 // would drive it from a timer thread.
+//
+// Intake is sharded: each emitting thread lands in one of N emission shards
+// (own lock, own per-query partial Aggregator), so concurrent tracepoint
+// fires on different threads never contend. Flush drains every shard and
+// merges partials through Aggregator::AddState — sound because every
+// aggregation function has a combiner (Table 3; "for Count, the combiner is
+// Sum") — then ships the whole interval as one ReportBatch frame
+// (docs/PERFORMANCE.md, "Emission path").
 
 #ifndef PIVOT_SRC_AGENT_AGENT_H_
 #define PIVOT_SRC_AGENT_AGENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -50,8 +60,10 @@ class PTAgent : public EmitSink {
  public:
   // `registry` is the process's tracepoint registry the agent weaves into;
   // `info` identifies the process in reports. The agent subscribes to the
-  // command topic immediately.
-  PTAgent(MessageBus* bus, TracepointRegistry* registry, ProcessInfo info);
+  // command topic immediately. `shard_count` sizes the emission shard array
+  // (0 = one shard per hardware thread); 1 reproduces the single-lock
+  // intake and is the baseline the bench compares against.
+  PTAgent(MessageBus* bus, TracepointRegistry* registry, ProcessInfo info, size_t shard_count = 0);
   ~PTAgent() override;
 
   PTAgent(const PTAgent&) = delete;
@@ -70,7 +82,9 @@ class PTAgent : public EmitSink {
   }
 
   // EmitSink: advice output lands here and is partially aggregated (or
-  // buffered, for streaming queries) per source query.
+  // buffered, for streaming queries) per source query. Takes only the calling
+  // thread's emission-shard lock — concurrent emitters on different threads
+  // never contend with each other or with the control plane.
   void EmitTuple(uint64_t query_id, const Tuple& t) override;
 
   // Publishes one report per active query covering the interval ending at
@@ -93,22 +107,51 @@ class PTAgent : public EmitSink {
   // corrupted wire bytes land here instead of in the tracepoint registry.
   uint64_t weaves_refused() const;
 
-  // Per-query accounting, sorted by query id.
+  // Per-query accounting, sorted by query id. `emitted` includes tuples
+  // still sitting in shards (not yet drained by Flush).
   std::vector<AgentQueryStats> QueryStats() const;
+
+  // EmitTuple calls that found their shard lock held (try_lock failed and
+  // had to block) — should stay ~0 when emitters outnumber shards only
+  // transiently. Mirrored by the agent.emit_shard_contention counter.
+  uint64_t shard_contentions() const;
+  size_t shard_count() const { return shards_.size(); }
 
   const ProcessInfo& info() const { return info_; }
 
  private:
   void HandleCommand(const BusMessage& msg);
 
+  // Control-plane view of one woven query, guarded by mu_. `agg`/`buffered`
+  // hold the interval's *merged* state: Flush drains every shard's partial
+  // aggregate into `agg` via AddState (the Table 3 combiner), so between
+  // flushes they only hold what earlier drains deposited.
   struct QueryState {
     ResultPlan plan;
-    Aggregator agg{{}, {}};        // Interval partial aggregation.
-    std::vector<Tuple> buffered;   // Streaming rows for this interval.
-    uint64_t emitted = 0;
+    Aggregator agg{{}, {}};        // Interval partial aggregation (merged).
+    std::vector<Tuple> buffered;   // Streaming rows for this interval (merged).
+    uint64_t emitted = 0;          // Drained from shards at flush.
     int64_t last_report_micros = -1;         // Last non-empty report.
     uint64_t reports_suppressed = 0;         // Empty flushes, total.
     uint64_t suppressed_since_heartbeat = 0; // Empty flushes since last kStats.
+  };
+
+  // Data-plane view of one woven query inside one shard, guarded only by the
+  // owning shard's lock.
+  struct ShardQueryState {
+    bool aggregated = false;
+    Aggregator agg{{}, {}};
+    std::vector<Tuple> buffered;
+    uint64_t emitted = 0;  // Since the last flush drained this shard.
+  };
+
+  // One emission shard: its own lock plus per-query partial state. Threads
+  // map onto shards by a process-wide thread ordinal, so two threads only
+  // share a shard when there are more emitting threads than shards.
+  // Lock ordering: mu_ before shard.mu; EmitTuple takes only shard.mu.
+  struct Shard {
+    std::mutex mu;
+    std::map<uint64_t, ShardQueryState> queries;
   };
 
   MessageBus* bus_;
@@ -118,13 +161,16 @@ class PTAgent : public EmitSink {
   const analysis::PropagationRegistry* propagation_ = nullptr;
   MessageBus::SubscriberId subscription_ = 0;
 
+  std::vector<std::unique_ptr<Shard>> shards_;
+
   mutable std::mutex mu_;
   std::map<uint64_t, QueryState> queries_;
-  uint64_t emitted_total_ = 0;
-  uint64_t reported_total_ = 0;
-  uint64_t reports_published_ = 0;
-  uint64_t dropped_total_ = 0;
-  uint64_t weaves_refused_ = 0;
+  std::atomic<uint64_t> emitted_total_{0};
+  std::atomic<uint64_t> reported_total_{0};
+  std::atomic<uint64_t> reports_published_{0};
+  std::atomic<uint64_t> dropped_total_{0};
+  std::atomic<uint64_t> weaves_refused_{0};
+  std::atomic<uint64_t> shard_contentions_{0};
 };
 
 }  // namespace pivot

@@ -296,22 +296,37 @@ void Frontend::HandleReport(const BusMessage& msg) {
     return;
   }
   if (decoded->type == ControlMessageType::kStats) {
-    const AgentStats& stats = decoded->stats;
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = queries_.find(stats.query_id);
-    if (it == queries_.end()) {
-      return;
+    HandleStats(decoded->stats);
+    return;
+  }
+  if (decoded->type == ControlMessageType::kBatch) {
+    // One agent flush, one frame: unpack into the single-report paths.
+    for (const AgentReport& report : decoded->batch.reports) {
+      HandleSingleReport(report);
     }
-    AgentQueryView& view = it->second.agents[stats.host + "/" + stats.process_name];
-    view.last_heartbeat_micros = stats.timestamp_micros;
-    view.reports_suppressed = stats.reports_suppressed;
+    for (const AgentStats& stats : decoded->batch.heartbeats) {
+      HandleStats(stats);
+    }
     return;
   }
   if (decoded->type != ControlMessageType::kReport) {
     return;
   }
-  const AgentReport& report = decoded->report;
+  HandleSingleReport(decoded->report);
+}
 
+void Frontend::HandleStats(const AgentStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(stats.query_id);
+  if (it == queries_.end()) {
+    return;
+  }
+  AgentQueryView& view = it->second.agents[stats.host + "/" + stats.process_name];
+  view.last_heartbeat_micros = stats.timestamp_micros;
+  view.reports_suppressed = stats.reports_suppressed;
+}
+
+void Frontend::HandleSingleReport(const AgentReport& report) {
   ResultListener listener;
   std::vector<Tuple> listener_rows;
   {
@@ -513,6 +528,9 @@ std::string Frontend::StatusReport() const {
   os << "queries: " << statuses.size() << "  reports: " << reports_received()
      << "  tuples: " << tuples_received()
      << "  symbols: " << SymbolTable::Global().size() << "\n";
+  os << "emission: shard_contention=" << telemetry::Metrics().GetCounter("agent.emit_shard_contention").value()
+     << " group_probes=" << telemetry::Metrics().GetCounter("agg.group_probe_count").value()
+     << " batch_reports=" << telemetry::Metrics().GetCounter("bus.batch_reports").value() << "\n";
   for (const auto& s : statuses) {
     os << "\nquery " << s.query_id << " [" << (s.active ? "active" : "uninstalled") << ", "
        << (s.aggregated ? "aggregated" : "streaming") << "]\n";
@@ -595,7 +613,11 @@ std::string Frontend::StatusReportJson() const {
        << ",\"no_subscriber\":" << t.no_subscriber << ",\"subscribers\":" << t.subscribers << "}";
   }
   os << "],\"symbols\":" << SymbolTable::Global().size()
-     << ",\"telemetry\":" << telemetry::Metrics().RenderJson() << "}";
+     << ",\"emission\":{\"shard_contention\":"
+     << telemetry::Metrics().GetCounter("agent.emit_shard_contention").value()
+     << ",\"group_probes\":" << telemetry::Metrics().GetCounter("agg.group_probe_count").value()
+     << ",\"batch_reports\":" << telemetry::Metrics().GetCounter("bus.batch_reports").value()
+     << "},\"telemetry\":" << telemetry::Metrics().RenderJson() << "}";
   return os.str();
 }
 

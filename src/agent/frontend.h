@@ -180,6 +180,11 @@ class Frontend {
   };
 
   void HandleReport(const BusMessage& msg);
+  // One report's worth of merging + listener dispatch; kBatch frames feed
+  // every contained report/heartbeat through these same paths, so batched
+  // and single-frame delivery are observationally identical.
+  void HandleSingleReport(const AgentReport& report);
+  void HandleStats(const AgentStats& stats);
   int64_t NowMicros() const;
 
   // Bags packed by active queries, bag -> owning query id (callers hold mu_).

@@ -141,6 +141,39 @@ std::vector<uint8_t> EncodeAgentStats(const AgentStats& stats) {
   return out;
 }
 
+std::vector<uint8_t> EncodeReportBatch(const ReportBatch& batch, std::vector<size_t>* report_bytes) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(ControlMessageType::kBatch));
+  PutString(&out, batch.host);
+  PutString(&out, batch.process_name);
+  PutVarintSigned64(&out, batch.timestamp_micros);
+  PutVarint64(&out, batch.reports.size());
+  if (report_bytes != nullptr) {
+    report_bytes->clear();
+    report_bytes->reserve(batch.reports.size());
+  }
+  for (const auto& r : batch.reports) {
+    size_t start = out.size();
+    PutVarint64(&out, r.query_id);
+    out.push_back(r.aggregated ? 1 : 0);
+    PutVarint64(&out, r.tuples.size());
+    for (const auto& t : r.tuples) {
+      PutTuple(&out, t);
+    }
+    if (report_bytes != nullptr) {
+      report_bytes->push_back(out.size() - start);
+    }
+  }
+  PutVarint64(&out, batch.heartbeats.size());
+  for (const auto& hb : batch.heartbeats) {
+    PutVarint64(&out, hb.query_id);
+    PutVarintSigned64(&out, hb.last_report_micros);
+    PutVarint64(&out, hb.reports_suppressed);
+    PutVarint64(&out, hb.tuples_emitted);
+  }
+  return out;
+}
+
 Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload) {
   const uint8_t* data = payload.data();
   size_t size = payload.size();
@@ -223,6 +256,56 @@ Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload)
           !GetVarint64(data, size, &pos, &s.reports_suppressed) ||
           !GetVarint64(data, size, &pos, &s.tuples_emitted)) {
         return DataLossError("bad agent stats");
+      }
+      return msg;
+    }
+    case ControlMessageType::kBatch: {
+      msg.type = ControlMessageType::kBatch;
+      ReportBatch& b = msg.batch;
+      uint64_t nreports = 0;
+      if (!GetString(data, size, &pos, &b.host) || !GetString(data, size, &pos, &b.process_name) ||
+          !GetVarintSigned64(data, size, &pos, &b.timestamp_micros) ||
+          !GetVarint64(data, size, &pos, &nreports) || nreports > size) {
+        return DataLossError("bad batch header");
+      }
+      for (uint64_t i = 0; i < nreports; ++i) {
+        AgentReport r;
+        r.host = b.host;
+        r.process_name = b.process_name;
+        r.timestamp_micros = b.timestamp_micros;
+        uint64_t ntuples = 0;
+        if (!GetVarint64(data, size, &pos, &r.query_id) || pos >= size) {
+          return DataLossError("bad batch report header");
+        }
+        r.aggregated = data[pos++] != 0;
+        if (!GetVarint64(data, size, &pos, &ntuples) || ntuples > size) {
+          return DataLossError("bad batch report tuple count");
+        }
+        for (uint64_t j = 0; j < ntuples; ++j) {
+          Tuple t;
+          if (!GetTuple(data, size, &pos, &t)) {
+            return DataLossError("bad batch report tuple");
+          }
+          r.tuples.push_back(std::move(t));
+        }
+        b.reports.push_back(std::move(r));
+      }
+      uint64_t nstats = 0;
+      if (!GetVarint64(data, size, &pos, &nstats) || nstats > size) {
+        return DataLossError("bad batch heartbeat count");
+      }
+      for (uint64_t i = 0; i < nstats; ++i) {
+        AgentStats s;
+        s.host = b.host;
+        s.process_name = b.process_name;
+        s.timestamp_micros = b.timestamp_micros;
+        if (!GetVarint64(data, size, &pos, &s.query_id) ||
+            !GetVarintSigned64(data, size, &pos, &s.last_report_micros) ||
+            !GetVarint64(data, size, &pos, &s.reports_suppressed) ||
+            !GetVarint64(data, size, &pos, &s.tuples_emitted)) {
+          return DataLossError("bad batch heartbeat");
+        }
+        b.heartbeats.push_back(std::move(s));
       }
       return msg;
     }

@@ -5,6 +5,11 @@
 //   Unweave  frontend → agents: query id
 //   Report   agent → frontend: one interval's partial results for one query
 //
+// Reports and heartbeats normally travel inside a ReportBatch (kBatch): one
+// frame per agent flush carrying every query's report, so bus traffic scales
+// with flushes, not active queries. Single-report frames (kReport/kStats)
+// remain decodable for compatibility and tests.
+//
 // Everything is byte-encoded with the wire codec so the protocol crosses
 // (simulated) process boundaries the same way a real deployment would.
 
@@ -70,6 +75,22 @@ struct AgentStats {
   uint64_t tuples_emitted = 0;        // Tuples this query emitted here, ever.
 };
 
+// Agent -> frontend: everything one Flush produced, in a single frame. The
+// agent identity and interval timestamp are hoisted into the batch header
+// (every report/heartbeat of one flush shares them), so the wire cost of a
+// flush is one bus publish regardless of how many queries reported. Decode
+// re-hydrates full AgentReport/AgentStats values — header fields copied into
+// each — so batch consumers reuse the single-report handling unchanged.
+struct ReportBatch {
+  std::string host;
+  std::string process_name;
+  int64_t timestamp_micros = 0;
+  // Per-entry host/process_name/timestamp_micros are ignored on encode (the
+  // header wins) and filled from the header on decode.
+  std::vector<AgentReport> reports;
+  std::vector<AgentStats> heartbeats;
+};
+
 enum class ControlMessageType : uint8_t {
   kWeave = 1,
   kUnweave = 2,
@@ -81,6 +102,7 @@ enum class ControlMessageType : uint8_t {
   kHello = 4,
   kWeaveAck = 5,
   kStats = 6,
+  kBatch = 7,
 };
 
 std::vector<uint8_t> EncodeWeave(const WeaveCommand& cmd);
@@ -89,6 +111,11 @@ std::vector<uint8_t> EncodeReport(const AgentReport& report);
 std::vector<uint8_t> EncodeHello();
 std::vector<uint8_t> EncodeWeaveAck(const WeaveAck& ack);
 std::vector<uint8_t> EncodeAgentStats(const AgentStats& stats);
+// If `report_bytes` is non-null it receives, per batch.reports entry, the
+// number of encoded bytes that report contributed to the frame (the
+// per-query cost exported by the PTAgent.Flush meta-tracepoint).
+std::vector<uint8_t> EncodeReportBatch(const ReportBatch& batch,
+                                       std::vector<size_t>* report_bytes = nullptr);
 
 // Decoded union; `type` selects the valid member.
 struct ControlMessage {
@@ -98,6 +125,7 @@ struct ControlMessage {
   AgentReport report;
   WeaveAck weave_ack;
   AgentStats stats;
+  ReportBatch batch;
 };
 
 Result<ControlMessage> DecodeControlMessage(const std::vector<uint8_t>& payload);

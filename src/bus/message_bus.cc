@@ -41,6 +41,7 @@ int64_t MonotonicNanos() {
 MessageBus::SubscriberId MessageBus::Subscribe(std::string topic, Callback callback) {
   std::lock_guard<std::mutex> lock(mu_);
   SubscriberId id = next_id_++;
+  subscriber_topics_.emplace(id, topic);
   topics_[std::move(topic)].push_back(
       Subscriber{id, std::make_shared<Callback>(std::move(callback))});
   return id;
@@ -48,12 +49,20 @@ MessageBus::SubscriberId MessageBus::Subscribe(std::string topic, Callback callb
 
 void MessageBus::Unsubscribe(SubscriberId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [topic, subs] : topics_) {
-    for (auto it = subs.begin(); it != subs.end(); ++it) {
-      if (it->id == id) {
-        subs.erase(it);
-        return;
-      }
+  auto rec = subscriber_topics_.find(id);
+  if (rec == subscriber_topics_.end()) {
+    return;  // Unknown or already-cancelled id.
+  }
+  auto topic_it = topics_.find(rec->second);
+  subscriber_topics_.erase(rec);
+  if (topic_it == topics_.end()) {
+    return;
+  }
+  std::vector<Subscriber>& subs = topic_it->second;
+  for (auto it = subs.begin(); it != subs.end(); ++it) {
+    if (it->id == id) {
+      subs.erase(it);
+      return;
     }
   }
 }
@@ -83,13 +92,18 @@ void MessageBus::Publish(BusMessage msg) {
   }
   PublishCounter().Increment();
   PublishBytesCounter().Increment(msg.payload.size());
+  uint64_t deliveries = 0;
   for (const auto& cb : callbacks) {
     int64_t start = MonotonicNanos();
     (*cb)(msg);
     CallbackNanosHistogram().Observe(static_cast<uint64_t>(MonotonicNanos() - start));
+    ++deliveries;
+  }
+  if (deliveries > 0) {
+    // One lock acquisition for the whole fan-out, not one per callback.
     std::lock_guard<std::mutex> lock(mu_);
-    ++delivered_;
-    ++counters_[msg.topic].delivered;
+    delivered_ += deliveries;
+    counters_[msg.topic].delivered += deliveries;
   }
 }
 

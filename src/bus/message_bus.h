@@ -84,6 +84,9 @@ class MessageBus {
   mutable std::mutex mu_;
   SubscriberId next_id_ = 1;
   std::map<std::string, std::vector<Subscriber>> topics_;
+  // id -> topic, recorded at Subscribe so Unsubscribe is a direct topic
+  // lookup instead of a scan over every topic's subscriber list.
+  std::map<SubscriberId, std::string> subscriber_topics_;
   std::map<std::string, TopicCounters> counters_;
   uint64_t published_ = 0;
   uint64_t delivered_ = 0;

@@ -1,6 +1,9 @@
 #include "src/core/aggregation.h"
 
 #include <cassert>
+#include <cstring>
+
+#include "src/telemetry/metrics.h"
 
 namespace pivot {
 
@@ -43,33 +46,135 @@ Aggregator::Aggregator(std::vector<std::string> group_fields, std::vector<AggSpe
 
 namespace {
 
-// Canonical string form of the group key: type-tagged so that e.g. int 1 and
-// string "1" land in different groups.
-std::string CanonicalKey(const Tuple& t, const std::vector<SymbolId>& fields) {
-  std::string key;
+// Index probes performed across all aggregators in the process (one count per
+// slot inspected, hit or miss) — the observable cost of the hashed group
+// index (docs/OBSERVABILITY.md).
+telemetry::Counter& GroupProbeCounter() {
+  static telemetry::Counter& c = telemetry::Metrics().GetCounter("agg.group_probe_count");
+  return c;
+}
+
+// Type-tagged FNV-1a over the projected group values. Must stay consistent
+// with GroupValueEquals below: bit-identical values hash identically. The
+// type tag keeps int 1 / double 1.0 / string "1" in distinct buckets (they
+// are distinct groups), unlike Value::Hash which deliberately collapses
+// numerically-equal ints and doubles.
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+uint64_t HashBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t GroupKeyHash(const Tuple& t, const std::vector<SymbolId>& fields) {
+  uint64_t h = kFnvOffset;
   for (SymbolId f : fields) {
     Value v = t.Get(f);
-    key += static_cast<char>('0' + static_cast<int>(v.type()));
-    key += v.ToString();
-    key += '\x1f';  // Unit separator: cannot appear in rendered numbers.
+    h = (h ^ static_cast<uint8_t>(v.type())) * kFnvPrime;
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt: {
+        int64_t i = v.int_value();
+        h = HashBytes(h, &i, sizeof(i));
+        break;
+      }
+      case ValueType::kDouble: {
+        double d = v.double_value();
+        h = HashBytes(h, &d, sizeof(d));
+        break;
+      }
+      case ValueType::kString:
+        h = HashBytes(h, v.string_value().data(), v.string_value().size());
+        break;
+    }
   }
-  return key;
+  return h;
+}
+
+// Group-key equality: same type and exactly the same value. Doubles compare
+// bitwise (consistent with hashing their raw bytes), NOT through
+// Value::Compare's cross-type numeric ordering.
+bool GroupValueEquals(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return false;
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt:
+      return a.int_value() == b.int_value();
+    case ValueType::kDouble: {
+      double da = a.double_value();
+      double db = b.double_value();
+      return std::memcmp(&da, &db, sizeof(da)) == 0;
+    }
+    case ValueType::kString:
+      return a.string_value() == b.string_value();
+  }
+  return false;
+}
+
+// `key` holds the candidate group's projected key tuple (group_fields_ order,
+// missing fields projected to null), `t` the incoming tuple.
+bool GroupKeyEquals(const Tuple& key, const Tuple& t, const std::vector<SymbolId>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (!GroupValueEquals(key.field(i).value, t.Get(fields[i]))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 Aggregator::Group& Aggregator::GroupFor(const Tuple& t) {
-  std::string key = CanonicalKey(t, group_ids_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    return groups_[it->second];
+  if (slots_.empty()) {
+    slots_.resize(16);
   }
+  const uint64_t hash = GroupKeyHash(t, group_ids_);
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  uint64_t probes = 1;
+  while (slots_[i].group != kEmptySlot) {
+    if (slots_[i].hash == hash &&
+        GroupKeyEquals(groups_[slots_[i].group].key_tuple, t, group_ids_)) {
+      GroupProbeCounter().Increment(probes);
+      return groups_[slots_[i].group];
+    }
+    i = (i + 1) & mask;
+    ++probes;
+  }
+  GroupProbeCounter().Increment(probes);
+  slots_[i] = IndexSlot{hash, groups_.size()};
   Group g;
   g.key_tuple = t.Project(group_ids_);
   g.accums.resize(specs_.size());
-  index_[std::move(key)] = groups_.size();
   groups_.push_back(std::move(g));
+  if ((groups_.size() + 1) * 8 > slots_.size() * 7) {
+    GrowIndex();
+  }
   return groups_.back();
+}
+
+void Aggregator::GrowIndex() {
+  std::vector<IndexSlot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, IndexSlot{});
+  const size_t mask = slots_.size() - 1;
+  for (const IndexSlot& slot : old) {
+    if (slot.group == kEmptySlot) {
+      continue;
+    }
+    size_t i = static_cast<size_t>(slot.hash) & mask;
+    while (slots_[i].group != kEmptySlot) {
+      i = (i + 1) & mask;
+    }
+    slots_[i] = slot;
+  }
 }
 
 namespace {
@@ -228,7 +333,7 @@ std::vector<Tuple> Aggregator::Finalize() const {
 
 void Aggregator::Clear() {
   groups_.clear();
-  index_.clear();
+  slots_.clear();
 }
 
 }  // namespace pivot

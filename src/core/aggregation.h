@@ -12,7 +12,6 @@
 #define PIVOT_SRC_CORE_AGGREGATION_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -60,6 +59,13 @@ struct AggSpec {
 // Streaming grouped aggregator. Group keys are the values of `group_fields`;
 // with no group fields there is a single implicit group (plain Aggregate).
 // Output order is group-insertion order, which keeps results deterministic.
+//
+// Group lookup is a hashed index over the projected group Values (hash probe
+// with full type-aware equality confirmation) — no canonical string key is
+// materialized on the per-tuple path. Keys are type-distinguishing: int 1,
+// double 1.0 and string "1" land in three different groups; doubles compare
+// bitwise (so -0.0 and 0.0 are distinct groups, and only bit-identical NaNs
+// coalesce).
 class Aggregator {
  public:
   Aggregator(std::vector<std::string> group_fields, std::vector<AggSpec> specs);
@@ -106,7 +112,17 @@ class Aggregator {
     std::vector<Accum> accums;
   };
 
+  // Hashed group index: open-addressed linear probing over
+  // (group-key hash, groups_ position). Power-of-two sized; rehash keeps the
+  // stored hashes, so group keys are never re-hashed after insertion.
+  struct IndexSlot {
+    uint64_t hash = 0;
+    size_t group = kEmptySlot;
+  };
+  static constexpr size_t kEmptySlot = static_cast<size_t>(-1);
+
   Group& GroupFor(const Tuple& t);
+  void GrowIndex();
 
   // Column references resolved once at construction so the per-tuple
   // accumulate path (pack-side pre-aggregation fires on every tracepoint
@@ -123,7 +139,7 @@ class Aggregator {
   std::vector<AggSpec> specs_;
   std::vector<SpecIds> spec_ids_;
   std::vector<Group> groups_;
-  std::map<std::string, size_t> index_;  // Canonical group key -> groups_ index.
+  std::vector<IndexSlot> slots_;  // Empty until the first group; 2^k sized.
 };
 
 }  // namespace pivot

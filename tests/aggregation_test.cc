@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "src/common/rand.h"
 #include "src/core/aggregation.h"
@@ -77,6 +79,75 @@ TEST(AggregatorTest, GroupOutputInInsertionOrder) {
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].Get("g").string_value(), "z");
   EXPECT_EQ(out[1].Get("g").string_value(), "a");
+}
+
+TEST(AggregatorTest, InsertionOrderSurvivesIndexGrowth) {
+  // Hundreds of distinct keys force the hashed index through several
+  // rehashes; output order must remain first-seen order throughout.
+  Aggregator agg({"g"}, {{AggFn::kCount, "", "COUNT", false}});
+  constexpr int kGroups = 300;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kGroups; ++i) {
+      agg.AddInput(Row("k" + std::to_string(i), i));
+    }
+  }
+  auto out = agg.Finalize();
+  ASSERT_EQ(out.size(), static_cast<size_t>(kGroups));
+  for (int i = 0; i < kGroups; ++i) {
+    EXPECT_EQ(out[i].Get("g").string_value(), "k" + std::to_string(i));
+    EXPECT_EQ(out[i].Get("COUNT").int_value(), 3);
+  }
+}
+
+TEST(AggregatorTest, NumericallyEqualKeysOfDifferentTypesStaySeparate) {
+  // The hashed index must keep the canonical-key semantics: int 1,
+  // double 1.0 and string "1" are three groups even though Value::Compare
+  // calls the numerics equal.
+  Aggregator agg({"g"}, {{AggFn::kCount, "", "COUNT", false}});
+  agg.AddInput(Tuple{{"g", Value(int64_t{1})}});
+  agg.AddInput(Tuple{{"g", Value(1.0)}});
+  agg.AddInput(Tuple{{"g", Value("1")}});
+  agg.AddInput(Tuple{{"g", Value(int64_t{1})}});
+  EXPECT_EQ(agg.group_count(), 3u);
+  auto out = agg.Finalize();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].Get("COUNT").int_value(), 2);  // The two int 1s coalesced.
+}
+
+TEST(AggregatorTest, CollisionHeavyKeysStayDistinct) {
+  // Multi-field keys sharing long prefixes and numeric twins stress probe
+  // chains: every distinct (a, b) pair must remain its own group, and
+  // re-adding each key must find the existing group, not insert a twin.
+  Aggregator agg({"a", "b"}, {{AggFn::kCount, "", "COUNT", false}});
+  std::vector<Tuple> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(Tuple{{"a", Value(std::string(100, 'x') + std::to_string(i))},
+                         {"b", Value(static_cast<int64_t>(i % 4))}});
+    keys.push_back(Tuple{{"a", Value(std::string(100, 'x') + std::to_string(i))},
+                         {"b", Value(static_cast<double>(i % 4))}});
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& k : keys) {
+      agg.AddInput(k);
+    }
+  }
+  EXPECT_EQ(agg.group_count(), keys.size());
+  for (const auto& t : agg.Finalize()) {
+    EXPECT_EQ(t.Get("COUNT").int_value(), 2);
+  }
+}
+
+TEST(AggregatorTest, MissingGroupFieldProjectsToNullGroup) {
+  // Rows missing the group field coalesce into one null-keyed group — same
+  // as the canonical-string index did.
+  Aggregator agg({"g"}, {{AggFn::kCount, "", "COUNT", false}});
+  agg.AddInput(Tuple{{"v", Value(int64_t{1})}});
+  agg.AddInput(Tuple{{"v", Value(int64_t{2})}});
+  agg.AddInput(Row("a", 3));
+  EXPECT_EQ(agg.group_count(), 2u);
+  auto out = agg.Finalize();
+  EXPECT_EQ(out[0].Get("COUNT").int_value(), 2);
+  EXPECT_TRUE(out[0].Get("g").is_null());
 }
 
 TEST(AggregatorTest, StateRoundTripThroughAddState) {

@@ -50,6 +50,27 @@ TEST(MessageBusTest, UnsubscribeStopsDelivery) {
   EXPECT_EQ(received, 1);
 }
 
+TEST(MessageBusTest, UnsubscribeTargetsOnlyItsOwnTopicAndId) {
+  // Unsubscribe resolves id -> topic directly; with many topics alive it must
+  // remove exactly the cancelled subscription, leave siblings on the same
+  // topic intact, and tolerate double-unsubscribe and unknown ids.
+  MessageBus bus;
+  int a = 0, b = 0, c = 0;
+  bus.Subscribe("t1", [&](const BusMessage&) { ++a; });
+  auto id_b = bus.Subscribe("t2", [&](const BusMessage&) { ++b; });
+  bus.Subscribe("t2", [&](const BusMessage&) { ++c; });
+
+  bus.Unsubscribe(id_b);
+  bus.Unsubscribe(id_b);    // Double-unsubscribe: no-op.
+  bus.Unsubscribe(999999);  // Never-issued id: no-op.
+
+  bus.Publish(BusMessage{"t1", {}});
+  bus.Publish(BusMessage{"t2", {}});
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 0);
+  EXPECT_EQ(c, 1);
+}
+
 TEST(MessageBusTest, PublishWithNoSubscribersIsFine) {
   MessageBus bus;
   bus.Publish(BusMessage{"nobody", {9}});

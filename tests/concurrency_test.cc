@@ -109,5 +109,63 @@ TEST(ConcurrencyTest, ConcurrentEmittersIntoOneAgent) {
   EXPECT_EQ(rows[0].Get("COUNT").int_value(), kThreads * kPerThread);
 }
 
+TEST(ConcurrencyTest, FlusherRacesEmittersAndQueryChurn) {
+  // The sharded intake's full concurrent surface at once: 4 emitter threads
+  // hammer EmitTuple through a woven tracepoint, a dedicated flusher thread
+  // drains shards and publishes batches, and the control thread weaves and
+  // unweaves continuously. TSan cleanliness is the primary assertion
+  // (.github/workflows/ci.yml tsan job).
+  MessageBus bus;
+  TracepointRegistry schema;
+  ASSERT_TRUE(schema.Define(Def("X", {"v"})).ok());
+  TracepointRegistry registry;
+  ProcessRuntime runtime;
+  runtime.info = {"A", "proc", 1};
+  PTAgent agent(&bus, &registry, runtime.info, /*shard_count=*/4);
+  runtime.sink = &agent;
+  Tracepoint* tp = *registry.Define(Def("X", {"v"}));
+  Frontend frontend(&bus, &schema);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> invocations{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      ExecutionContext ctx(&runtime);
+      while (!stop.load(std::memory_order_relaxed)) {
+        tp->Invoke(&ctx, {{"v", Value(int64_t{t % 3})}});
+        invocations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread flusher([&] {
+    int64_t now = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      agent.Flush(now += 1000);
+      std::this_thread::yield();
+    }
+  });
+
+  for (int i = 0; i < 100; ++i) {
+    Result<uint64_t> q =
+        frontend.Install("From e In X GroupBy e.v Select e.v, COUNT, SUM(e.v)");
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    std::this_thread::yield();
+    ASSERT_TRUE(frontend.Uninstall(*q).ok());
+  }
+  stop.store(true);
+  flusher.join();
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  EXPECT_GT(invocations.load(), 0u);
+  EXPECT_FALSE(tp->enabled());  // Last unweave left the tracepoint quiescent.
+  // Nothing woven survives, so a final flush publishes nothing new.
+  uint64_t reports_before = agent.reports_published();
+  agent.Flush(1'000'000'000);
+  EXPECT_EQ(agent.reports_published(), reports_before);
+}
+
 }  // namespace
 }  // namespace pivot

@@ -60,6 +60,87 @@ TEST(ProtocolTest, ReportRoundTrip) {
   EXPECT_EQ(decoded->report.tuples[0].Get("SUM(incr.delta)").int_value(), 12345);
 }
 
+TEST(ProtocolTest, ReportBatchRoundTrip) {
+  ReportBatch batch;
+  batch.host = "C";
+  batch.process_name = "DataNode";
+  batch.timestamp_micros = 3'000'000;
+
+  AgentReport r1;
+  r1.query_id = 7;
+  r1.aggregated = true;
+  r1.tuples.push_back(Tuple{{"incr.host", Value("C")}, {"SUM(incr.delta)", Value(int64_t{12345})}});
+  AgentReport r2;
+  r2.query_id = 9;
+  r2.aggregated = false;
+  r2.tuples.push_back(Tuple{{"x.v", Value(int64_t{1})}});
+  r2.tuples.push_back(Tuple{{"x.v", Value(int64_t{2})}});
+  batch.reports = {r1, r2};
+
+  AgentStats hb;
+  hb.query_id = 11;
+  hb.last_report_micros = -1;
+  hb.reports_suppressed = 10;
+  hb.tuples_emitted = 0;
+  batch.heartbeats = {hb};
+
+  std::vector<size_t> report_bytes;
+  std::vector<uint8_t> encoded = EncodeReportBatch(batch, &report_bytes);
+  ASSERT_EQ(report_bytes.size(), 2u);
+  EXPECT_GT(report_bytes[0], 0u);
+  EXPECT_GT(report_bytes[1], 0u);
+
+  Result<ControlMessage> decoded = DecodeControlMessage(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->type, ControlMessageType::kBatch);
+  const ReportBatch& b = decoded->batch;
+  EXPECT_EQ(b.host, "C");
+  EXPECT_EQ(b.process_name, "DataNode");
+  EXPECT_EQ(b.timestamp_micros, 3'000'000);
+  ASSERT_EQ(b.reports.size(), 2u);
+  // Header identity is re-hydrated into each contained report.
+  EXPECT_EQ(b.reports[0].host, "C");
+  EXPECT_EQ(b.reports[0].process_name, "DataNode");
+  EXPECT_EQ(b.reports[0].timestamp_micros, 3'000'000);
+  EXPECT_EQ(b.reports[0].query_id, 7u);
+  EXPECT_TRUE(b.reports[0].aggregated);
+  ASSERT_EQ(b.reports[0].tuples.size(), 1u);
+  EXPECT_EQ(b.reports[0].tuples[0].Get("SUM(incr.delta)").int_value(), 12345);
+  EXPECT_EQ(b.reports[1].query_id, 9u);
+  EXPECT_FALSE(b.reports[1].aggregated);
+  ASSERT_EQ(b.reports[1].tuples.size(), 2u);
+  ASSERT_EQ(b.heartbeats.size(), 1u);
+  EXPECT_EQ(b.heartbeats[0].query_id, 11u);
+  EXPECT_EQ(b.heartbeats[0].host, "C");
+  EXPECT_EQ(b.heartbeats[0].last_report_micros, -1);
+  EXPECT_EQ(b.heartbeats[0].reports_suppressed, 10u);
+}
+
+TEST(ProtocolTest, EmptyBatchRoundTrip) {
+  ReportBatch batch;
+  batch.host = "A";
+  batch.process_name = "p";
+  Result<ControlMessage> decoded = DecodeControlMessage(EncodeReportBatch(batch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->batch.reports.empty());
+  EXPECT_TRUE(decoded->batch.heartbeats.empty());
+}
+
+TEST(ProtocolTest, TruncatedBatchRejected) {
+  ReportBatch batch;
+  batch.host = "A";
+  batch.process_name = "p";
+  AgentReport r;
+  r.query_id = 1;
+  r.tuples.push_back(Tuple{{"x.v", Value(int64_t{1})}});
+  batch.reports = {r};
+  std::vector<uint8_t> encoded = EncodeReportBatch(batch);
+  for (size_t cut = 1; cut < encoded.size(); ++cut) {
+    std::vector<uint8_t> truncated(encoded.begin(), encoded.begin() + cut);
+    EXPECT_FALSE(DecodeControlMessage(truncated).ok()) << "cut=" << cut;
+  }
+}
+
 TEST(ProtocolTest, EmptyPayloadRejected) {
   EXPECT_FALSE(DecodeControlMessage({}).ok());
 }
